@@ -1,0 +1,83 @@
+//! One Criterion benchmark per evaluation axis: the end-to-end cost of the
+//! trial machinery that regenerates the paper's tables and figures. Useful
+//! for keeping the reproduction binaries fast enough to iterate on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::{AntennaPlacement, Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::{Stroke, StrokeShape};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+use std::hint::black_box;
+
+fn bench_stroke_trial(c: &mut Criterion) {
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    c.bench_function("trial/stroke_vline", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, seed))
+        })
+    });
+}
+
+fn bench_letter_trial(c: &mut Criterion) {
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    c.bench_function("trial/letter_H", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(bench.run_letter_trial('H', &user, seed))
+        })
+    });
+}
+
+fn bench_deployment_variants(c: &mut Criterion) {
+    // Calibration cost per deployment variant (the per-figure setup cost).
+    let mut group = c.benchmark_group("calibrate_deployment");
+    for (name, spec) in [
+        ("nlos_default", DeploymentSpec::default()),
+        (
+            "los",
+            DeploymentSpec {
+                placement: AntennaPlacement::Los,
+                ..DeploymentSpec::default()
+            },
+        ),
+        (
+            "location4",
+            DeploymentSpec {
+                location: 4,
+                ..DeploymentSpec::default()
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                black_box(Bench::calibrate(
+                    Deployment::build(spec.clone(), 42),
+                    RfipadConfig::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stroke_trial,
+    bench_letter_trial,
+    bench_deployment_variants
+);
+criterion_main!(benches);

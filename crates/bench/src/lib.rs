@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory for the Criterion
+//! suites (DSP kernels, pipeline, Gen2 inventory, ablations, figure
+//! machinery). The library target exists only to anchor the bench targets.

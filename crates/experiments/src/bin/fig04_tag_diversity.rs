@@ -1,0 +1,50 @@
+//! Fig. 4 — average static phase of each tag in the 5×5 array.
+//!
+//! The paper interrogates each tag 100 times with no hand present and finds
+//! the per-tag mean phases spread irregularly over [0, 2π) — the *tag
+//! diversity* that motivates the Eq. 6–8 suppression.
+
+use experiments::report::print_series;
+use experiments::{Deployment, DeploymentSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_gen2::reader::Gen2Reader;
+use std::collections::HashMap;
+
+fn main() {
+    let deployment = Deployment::build(DeploymentSpec::default(), 42);
+    let reader = Gen2Reader::default();
+    let mut rng = StdRng::seed_from_u64(4);
+    // ~13 s gives each tag ≈ 100 interrogations, as in the paper.
+    let run = reader.run(&deployment.scene, &[], 0.0, 13.0, &mut rng);
+
+    let mut sums: HashMap<u64, (f64, f64, usize)> = HashMap::new();
+    for e in &run.events {
+        let entry = sums.entry(e.observation.tag.0).or_insert((0.0, 0.0, 0));
+        entry.0 += e.observation.phase.sin();
+        entry.1 += e.observation.phase.cos();
+        entry.2 += 1;
+    }
+    let mut points = Vec::new();
+    for id in 0..25u64 {
+        let (s, c, n) = sums.get(&id).copied().unwrap_or((0.0, 0.0, 0));
+        let mean = s.atan2(c).rem_euclid(std::f64::consts::TAU);
+        points.push((id + 1, format!("{mean:.3} rad ({n} reads)")));
+    }
+    print_series(
+        "Fig. 4 — average static phase per tag (1..25)",
+        "tag #",
+        "mean phase",
+        &points,
+    );
+    let phases: Vec<f64> = points
+        .iter()
+        .map(|p| p.1.split(' ').next().unwrap().parse::<f64>().unwrap())
+        .collect();
+    let lo = phases.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = phases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nSpread: {lo:.2}..{hi:.2} rad — per-tag central phases distribute irregularly\n\
+         within [0, 2π), as the paper's Fig. 4 shows (tag diversity)."
+    );
+}

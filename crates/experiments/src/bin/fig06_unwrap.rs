@@ -1,0 +1,58 @@
+//! Fig. 6 — phase de-periodicity: a wrapped phase trend before and after
+//! unwrapping.
+
+use experiments::report::print_table;
+use sigproc::unwrap::{unwrap_phase, wrap_phase};
+
+fn main() {
+    // A smooth physical phase trend that crosses several 2π boundaries,
+    // like the example in the paper's Fig. 6.
+    let true_phase: Vec<f64> = (0..100)
+        .map(|i| {
+            let t = i as f64 * 0.1;
+            5.5 - 0.9 * t + 0.4 * (t * 1.3).sin()
+        })
+        .collect();
+    let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_phase(p)).collect();
+    let unwrapped = unwrap_phase(&wrapped);
+
+    let jumps = |series: &[f64]| {
+        series
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > std::f64::consts::PI)
+            .count()
+    };
+    let max_step = |series: &[f64]| {
+        series
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    print_table(
+        "Fig. 6 — phase de-periodicity",
+        &["series", "2π discontinuities", "max step (rad)"],
+        &[
+            vec![
+                "reported (wrapped)".into(),
+                jumps(&wrapped).to_string(),
+                format!("{:.2}", max_step(&wrapped)),
+            ],
+            vec![
+                "after unwrapping".into(),
+                jumps(&unwrapped).to_string(),
+                format!("{:.2}", max_step(&unwrapped)),
+            ],
+        ],
+    );
+
+    // Reconstruction fidelity (up to the 2π offset of the first sample).
+    let offset = unwrapped[0] - true_phase[0];
+    let err = unwrapped
+        .iter()
+        .zip(&true_phase)
+        .map(|(u, t)| (u - t - offset).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax reconstruction error vs. true phase: {err:.2e} rad");
+    println!("The sudden 2π jumps disappear; the trend becomes smooth and continuous.");
+}

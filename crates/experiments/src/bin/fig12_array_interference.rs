@@ -1,0 +1,62 @@
+//! Fig. 12 — RSS of a target tag behind the plate as the array population
+//! and tag model vary.
+//!
+//! The paper populates the plane with 1–5 rows × 1–3 columns of four
+//! commercial tag designs and measures the suppression of a target tag
+//! behind it: three columns of the largest-RCS design (Tag D) cost ≈ 20 dB;
+//! the small Impinj AZ-E53 (Tag B) only ≈ 2 dB.
+
+use experiments::report::print_table;
+use rf_sim::coupling;
+use rf_sim::geometry::Vec3;
+use rf_sim::tags::{Facing, Tag, TagId, TagModel};
+
+fn main() {
+    let antenna_pos = Vec3::new(0.0, 0.0, 0.5); // 50 cm in front of the plane
+    let victim_pos = Vec3::new(0.0, 0.0, -0.02); // target tag just behind it
+    let spacing = 0.06;
+
+    for model in TagModel::all() {
+        let mut rows_out = Vec::new();
+        for n_rows in 1..=5usize {
+            let mut cells = vec![n_rows.to_string()];
+            for n_cols in 1..=3usize {
+                let tags: Vec<Tag> = (0..n_rows)
+                    .flat_map(|r| {
+                        (0..n_cols).map(move |c| {
+                            Tag::new(
+                                TagId((r * n_cols + c) as u64),
+                                Vec3::new(
+                                    (c as f64 - (n_cols as f64 - 1.0) / 2.0) * spacing,
+                                    (r as f64 - (n_rows as f64 - 1.0) / 2.0) * spacing,
+                                    0.0,
+                                ),
+                                Facing::Front,
+                                model,
+                                0.0,
+                            )
+                        })
+                    })
+                    .collect();
+                let shadow =
+                    coupling::array_shadow_db(&tags, victim_pos, Facing::Front, antenna_pos);
+                // Baseline victim RSS ≈ −44 dBm at this geometry.
+                cells.push(format!("{:.1}", -44.0 - shadow.value()));
+            }
+            rows_out.push(cells);
+        }
+        print_table(
+            &format!(
+                "Fig. 12 — target-tag RSS (dBm) behind a plate of {model} (RCS {:.4} m²)",
+                model.rcs_m2()
+            ),
+            &["rows", "1 column", "2 columns", "3 columns"],
+            &rows_out,
+        );
+    }
+    println!(
+        "\nShape check: RSS falls as rows/columns are added; the drop ordering follows\n\
+         RCS (D ≫ A > C ≫ B). Three columns of Tag D cost ≈20 dB, of Tag B only ≈2 dB\n\
+         — Tag B (Impinj AZ-E53) is the right choice for dense arrays."
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 16 — detection accuracy in four lab locations, with and without
+//! diversity suppression.
+//!
+//! The paper's location 4 (strongest multipath) shows the largest gain:
+//! 75% → 93% once the suppression algorithm runs.
+
+use experiments::report::{print_table, rate};
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let user = UserProfile::average();
+    let mut rows = Vec::new();
+    for location in 1..=4usize {
+        let deployment = || {
+            Deployment::build(
+                DeploymentSpec {
+                    location,
+                    ..DeploymentSpec::default()
+                },
+                42 + location as u64,
+            )
+        };
+        let with = Bench::calibrate(deployment(), RfipadConfig::default(), 1).run_motion_batch(
+            &user,
+            reps,
+            3000 + location as u64,
+        );
+        let without = Bench::calibrate(
+            deployment(),
+            RfipadConfig::default().without_suppression(),
+            1,
+        )
+        .run_motion_batch(&user, reps, 3000 + location as u64);
+        rows.push(vec![
+            format!("location {location}"),
+            rate(without.accuracy()),
+            rate(with.accuracy()),
+            format!("{:+.3}", with.accuracy() - without.accuracy()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Fig. 16 — detection accuracy vs. environment ({} motions per cell)",
+            13 * reps
+        ),
+        &["environment", "w/o suppression", "with suppression", "gain"],
+        &rows,
+    );
+    println!(
+        "\nPaper: suppression improves every location, most at location 4\n\
+         (strongest multipath; 0.75 → 0.93). Shape check: the gain column should\n\
+         be positive everywhere and largest in location 4."
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 20 — detection accuracy across ten volunteers.
+//!
+//! The paper balances gender, age, height, and arm length: most volunteers
+//! land above 90%, while the two fast movers (#6 and #9) dip to ≈85% —
+//! which motivates the speed study.
+
+use experiments::report::{print_table, rate};
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let mut rows = Vec::new();
+    let mut accuracies = Vec::new();
+    for i in 1..=10usize {
+        let user = UserProfile::volunteer(i);
+        let batch = bench.run_motion_batch(&user, reps, 2000 + i as u64 * 53);
+        accuracies.push(batch.accuracy());
+        rows.push(vec![
+            format!("#{i}"),
+            format!("{:.2}×", user.speed_scale),
+            rate(batch.accuracy()),
+            rate(batch.shape_accuracy()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Fig. 20 — accuracy per volunteer ({} motions each)",
+            13 * reps
+        ),
+        &["user", "speed", "accuracy", "shape-only"],
+        &rows,
+    );
+    let mut sorted = accuracies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "\nmedian accuracy: {:.3}; fast movers #6/#9: {:.3}/{:.3}",
+        sorted[5], accuracies[5], accuracies[8]
+    );
+    println!(
+        "Paper: median above 0.90; volunteers #6 and #9 (fast hands) dip to ≈0.85\n\
+         but stay usable — RFIPad scales across diverse users."
+    );
+}

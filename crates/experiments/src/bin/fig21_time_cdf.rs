@@ -1,0 +1,72 @@
+//! Fig. 21 — CDF of the time needed to (write and) recognize each stroke.
+//!
+//! The paper records, per successfully recognized stroke, the time spent —
+//! 90% of click/−/|// recognitions complete within 2 s, while `⊂` takes
+//! longer (a longer trail to draw). RFIPad prefers slow motions because
+//! fast ones get undersampled by the Gen2 MAC.
+
+use experiments::report::print_series;
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+use sigproc::stats::Ecdf;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    // A spread of users (including the fast movers) — 300 rounds per
+    // volunteer in the paper; we pool across users per motion.
+    let users: Vec<UserProfile> = (1..=10).map(UserProfile::volunteer).collect();
+
+    for stroke in Stroke::all_thirteen().into_iter().filter(|s| !s.reversed) {
+        let mut times = Vec::new();
+        for (u, user) in users.iter().enumerate() {
+            for rep in 0..reps {
+                let seed =
+                    2100 + u as u64 * 997 + rep as u64 * 31 + stroke.shape.motion_number() as u64;
+                let trial = bench.run_stroke_trial(stroke, user, seed);
+                if trial.correct() {
+                    // Time to complete recognition: detected span duration
+                    // (the writing) plus the end-confirmation delay.
+                    let span = trial.result.strokes[0].span;
+                    times.push(span.duration() + 0.5);
+                }
+            }
+        }
+        if times.is_empty() {
+            continue;
+        }
+        let cdf = Ecdf::new(times);
+        let points: Vec<(String, String)> = [0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| {
+                (
+                    format!("p{:.0}", q * 100.0),
+                    format!("{:.2} s", cdf.quantile(q)),
+                )
+            })
+            .collect();
+        print_series(
+            &format!(
+                "Fig. 21 — recognition-time CDF, motion #{} ({})",
+                stroke.shape.motion_number(),
+                stroke.shape
+            ),
+            "quantile",
+            "time",
+            &points,
+        );
+    }
+    println!(
+        "\nPaper: 90% of click/−/|// within 2 s; ⊂ takes longer (longer trail).\n\
+         Shape check: the p90 of arcs should exceed the p90 of clicks/lines."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 23 — letter recognition accuracy over all 26 letters, grouped by
+//! stroke count as in the paper (group 1 = {C, I} … group 4 = {E, M, W}).
+//!
+//! The paper reports ≈91% average accuracy.
+
+use experiments::report::{print_table, rate};
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::letters::{letters_with_stroke_count, ALPHABET};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+use std::collections::HashMap;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let mut per_letter: HashMap<char, (usize, usize)> = HashMap::new();
+    for letter in ALPHABET {
+        let mut ok = 0;
+        for rep in 0..reps {
+            let trial =
+                bench.run_letter_trial(letter, &user, 2300 + rep as u64 * 101 + letter as u64 * 7);
+            if trial.correct() {
+                ok += 1;
+            }
+        }
+        per_letter.insert(letter, (ok, reps));
+    }
+
+    let mut rows = Vec::new();
+    for letter in ALPHABET {
+        let (ok, n) = per_letter[&letter];
+        rows.push(vec![
+            letter.to_string(),
+            hand_kinematics::letters::stroke_count(letter)
+                .unwrap()
+                .to_string(),
+            rate(ok as f64 / n as f64),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 23 — letter recognition accuracy ({reps} sessions per letter)"),
+        &["letter", "strokes", "accuracy"],
+        &rows,
+    );
+
+    let mut group_rows = Vec::new();
+    let mut total_ok = 0usize;
+    let mut total_n = 0usize;
+    for group in 1..=4usize {
+        let members = letters_with_stroke_count(group);
+        let (ok, n) = members.iter().fold((0usize, 0usize), |(a, b), c| {
+            let (ok, n) = per_letter[c];
+            (a + ok, b + n)
+        });
+        total_ok += ok;
+        total_n += n;
+        group_rows.push(vec![
+            format!("group #{group}"),
+            members.iter().collect::<String>(),
+            rate(ok as f64 / n.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 23 — by stroke-count group",
+        &["group", "letters", "accuracy"],
+        &group_rows,
+    );
+    println!(
+        "\naverage letter accuracy: {:.3} (paper: ≈0.91)",
+        total_ok as f64 / total_n as f64
+    );
+}

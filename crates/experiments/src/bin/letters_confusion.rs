@@ -1,0 +1,69 @@
+//! Letter confusion analysis: which letters get mistaken for which.
+//!
+//! The paper reports only per-letter accuracy (Fig. 23); this companion
+//! experiment prints the confusion structure, which exposes *why* the
+//! weak letters are weak (e.g. W's steep arms reading as bars, bowl/stem
+//! letters trading places).
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::letters::ALPHABET;
+use hand_kinematics::user::UserProfile;
+use rfipad::metrics::ConfusionMatrix;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let mut matrix = ConfusionMatrix::new();
+    for letter in ALPHABET {
+        for rep in 0..reps {
+            let trial =
+                bench.run_letter_trial(letter, &user, 2800 + rep as u64 * 101 + letter as u64);
+            let predicted = trial
+                .result
+                .letter
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "∅".to_string());
+            matrix.record(letter.to_string(), predicted);
+        }
+    }
+
+    println!("== Letter confusion ({} sessions per letter) ==", reps);
+    println!("overall accuracy: {:.3}", matrix.accuracy());
+    println!("\nconfusions (truth → predicted : count):");
+    let mut rows: Vec<(String, String, u64)> = Vec::new();
+    for truth in matrix.truth_labels() {
+        for predicted in ALPHABET
+            .iter()
+            .map(|c| c.to_string())
+            .chain(std::iter::once("∅".to_string()))
+        {
+            if truth != predicted {
+                let n = matrix.count(&truth, &predicted);
+                if n > 0 {
+                    rows.push((truth.clone(), predicted, n));
+                }
+            }
+        }
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+    for (truth, predicted, n) in &rows {
+        println!("  {truth} → {predicted} : {n}");
+    }
+    if rows.is_empty() {
+        println!("  (none at this repetition count)");
+    }
+    println!(
+        "\n∅ = no grammar match. Expected structure: W trades with M/zig-zag\n\
+         readings, bowl letters (B/P/R/D) trade among themselves, and the\n\
+         positional disambiguation keeps D/P, O/S, V/X apart."
+    );
+}

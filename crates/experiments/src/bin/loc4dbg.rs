@@ -1,0 +1,42 @@
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+fn main() {
+    let bench = Bench::calibrate(
+        Deployment::build(
+            DeploymentSpec {
+                location: 4,
+                ..DeploymentSpec::default()
+            },
+            46,
+        ),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    for stroke in Stroke::all_thirteen() {
+        let mut wrong = Vec::new();
+        let mut ok = 0;
+        for rep in 0..6u64 {
+            let t = bench.run_stroke_trial(
+                stroke,
+                &user,
+                7000 + rep * 31 + stroke.shape.motion_number() as u64,
+            );
+            if t.correct() {
+                ok += 1;
+            } else {
+                wrong.push(
+                    t.result
+                        .strokes
+                        .iter()
+                        .map(|s| s.stroke.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                );
+            }
+        }
+        println!("{:8} ok {ok}/6 wrong: {:?}", stroke.to_string(), wrong);
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end smoke check over the default deployment.
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let mut stroke_ok = 0;
+    let mut shape_ok = 0;
+    for (i, stroke) in Stroke::all_thirteen().into_iter().enumerate() {
+        let trial = bench.run_stroke_trial(stroke, &user, 100 + i as u64);
+        let got: Vec<String> = trial
+            .result
+            .strokes
+            .iter()
+            .map(|s| s.stroke.to_string())
+            .collect();
+        if trial.correct() {
+            stroke_ok += 1;
+        }
+        if trial.shape_correct() {
+            shape_ok += 1;
+        }
+        println!(
+            "truth {:8} -> {:?} correct={}",
+            stroke.to_string(),
+            got,
+            trial.correct()
+        );
+    }
+    println!("strokes: {stroke_ok}/13 exact, {shape_ok}/13 shape");
+    let mut letter_ok = 0;
+    let letters = ['I', 'C', 'T', 'L', 'V', 'H', 'Z', 'N', 'E', 'O', 'D', 'P'];
+    for (i, letter) in letters.iter().enumerate() {
+        let trial = bench.run_letter_trial(*letter, &user, 500 + i as u64);
+        if trial.correct() {
+            letter_ok += 1;
+        }
+        println!(
+            "letter {letter} -> {:?} (strokes {:?})",
+            trial.result.letter,
+            trial
+                .result
+                .strokes
+                .iter()
+                .map(|s| s.stroke.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("letters: {letter_ok}/{}", letters.len());
+}

@@ -1,0 +1,49 @@
+//! Quick accuracy sweep: 13 strokes x N seeds.
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let mut total_ok = 0;
+    let mut total = 0;
+    for stroke in Stroke::all_thirteen() {
+        let mut ok = 0;
+        let mut shape_ok = 0;
+        for seed in 0..n {
+            let t = bench.run_stroke_trial(
+                stroke,
+                &user,
+                1000 + seed * 131
+                    + stroke.shape.motion_number() as u64 * 7
+                    + stroke.reversed as u64,
+            );
+            if t.correct() {
+                ok += 1;
+            }
+            if t.shape_correct() {
+                shape_ok += 1;
+            }
+        }
+        total_ok += ok;
+        total += n;
+        println!(
+            "{:8}  exact {ok}/{n}  shape {shape_ok}/{n}",
+            stroke.to_string()
+        );
+    }
+    println!(
+        "TOTAL {total_ok}/{total} = {:.2}",
+        total_ok as f64 / total as f64
+    );
+}

@@ -1,0 +1,48 @@
+//! Letter recognition sweep: 26 letters x N seeds.
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::letters::ALPHABET;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let mut total_ok = 0usize;
+    let mut total = 0usize;
+    for letter in ALPHABET {
+        let mut ok = 0;
+        let mut wrong: Vec<String> = Vec::new();
+        for seed in 0..n {
+            let t = bench.run_letter_trial(letter, &user, 3000 + seed * 97 + letter as u64);
+            if t.correct() {
+                ok += 1;
+            } else {
+                wrong.push(format!(
+                    "{:?}[{}]",
+                    t.result.letter,
+                    t.result
+                        .strokes
+                        .iter()
+                        .map(|s| s.stroke.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+        }
+        total_ok += ok as usize;
+        total += n as usize;
+        println!("{letter}: {ok}/{n} {}", wrong.join(" "));
+    }
+    println!(
+        "TOTAL {total_ok}/{total} = {:.3}",
+        total_ok as f64 / total as f64
+    );
+}

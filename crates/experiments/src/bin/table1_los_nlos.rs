@@ -1,0 +1,72 @@
+//! Table I — motion identification accuracy, LOS vs. NLOS antenna placement.
+//!
+//! The paper runs 3 groups of 13 strokes × 20 repetitions (780 motions) per
+//! scenario and finds NLOS (antenna behind the board) *beats* LOS (antenna
+//! on the ceiling) — the writer's arm crosses the LOS reader–tag paths and
+//! injects noise.
+
+use experiments::report::{print_table, rate};
+use experiments::{AntennaPlacement, Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let user = UserProfile::average();
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for (name, placement) in [
+        ("LOS", AntennaPlacement::Los),
+        ("NLOS", AntennaPlacement::Nlos),
+    ] {
+        let bench = Bench::calibrate(
+            Deployment::build(
+                DeploymentSpec {
+                    placement,
+                    ..DeploymentSpec::default()
+                },
+                42,
+            ),
+            RfipadConfig::default(),
+            1,
+        );
+        let mut cells = vec![name.to_string()];
+        let mut total_exact = 0usize;
+        let mut total_trials = 0usize;
+        for group in 0..3u64 {
+            let batch = bench.run_motion_batch(&user, reps, 1000 + group * 7919);
+            cells.push(rate(batch.accuracy()));
+            total_exact += batch.exact;
+            total_trials += batch.trials;
+        }
+        let avg = total_exact as f64 / total_trials as f64;
+        cells.push(rate(avg));
+        summary.push((name, avg, total_trials));
+        rows.push(cells);
+    }
+    print_table(
+        &format!(
+            "Table I — accuracy of motion identification ({} motions per scenario)",
+            13 * reps * 3
+        ),
+        &["case", "group 1", "group 2", "group 3", "average"],
+        &rows,
+    );
+    println!(
+        "\nPaper: LOS 0.88, NLOS 0.94. Shape check: NLOS beats LOS (the arm disrupts\n\
+         LOS reader–tag paths), both in the high-80s/low-90s."
+    );
+    let los = summary.iter().find(|s| s.0 == "LOS").unwrap().1;
+    let nlos = summary.iter().find(|s| s.0 == "NLOS").unwrap().1;
+    println!(
+        "measured: LOS {los:.3}, NLOS {nlos:.3} — NLOS advantage {}",
+        if nlos > los {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}

@@ -1,0 +1,161 @@
+//! Two RFIPads on one reader — the multi-pad half of the §I claim.
+//!
+//! Two plates hang side by side (a bilingual kiosk, or adjacent exhibits),
+//! each on its own antenna port of the same reader. Two users write
+//! different letters at overlapping times; the shared report stream is
+//! routed by [`rfipad::PadDispatcher`] and both letters must come out.
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use hand_kinematics::writer::Writer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::geometry::Vec3;
+use rf_sim::scene::Scene;
+use rf_sim::tags::{Tag, TagId};
+use rf_sim::targets::MovingTarget;
+use rfipad::multipad::{PadDispatcher, PadEvent};
+use rfipad::{ArrayLayout, Calibration, PipelineEvent, Recognizer, RfipadConfig};
+
+fn main() {
+    // Pad A: the standard deployment.
+    let bench_a = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+
+    // Pad B: a second plate one metre to the right, its tags renumbered
+    // 100.. so both pads coexist in one id space, watched by the reader's
+    // second antenna port (its own scene).
+    let offset = Vec3::new(1.0, 0.0, 0.0);
+    let tags_b: Vec<Tag> = bench_a
+        .deployment
+        .scene
+        .tags()
+        .iter()
+        .map(|t| {
+            Tag::new(
+                TagId(t.id.0 + 100),
+                t.position + offset,
+                t.facing,
+                t.model,
+                t.theta_tag,
+            )
+        })
+        .collect();
+    let antenna_b = rf_sim::antenna::ReaderAntenna::new(
+        bench_a.deployment.scene.antenna().position() + offset,
+        bench_a.deployment.scene.antenna().boresight(),
+        bench_a.deployment.scene.antenna().peak_gain(),
+    );
+    let scene_b = Scene::new(
+        antenna_b,
+        tags_b,
+        bench_a.deployment.scene.environment().clone(),
+        bench_a.deployment.scene.config().clone(),
+    );
+    let layout_b = ArrayLayout::new(5, 5, (100..125).map(TagId).collect());
+
+    // Calibrate pad B from its own static recording.
+    let mut rng = StdRng::seed_from_u64(21);
+    let config = RfipadConfig::default();
+    let static_run = bench_a.reader.run(&scene_b, &[], 0.0, 6.0, &mut rng);
+    let static_obs: Vec<_> = static_run.events.iter().map(|e| e.observation).collect();
+    let cal_b =
+        Calibration::from_observations(&layout_b, &static_obs, &config).expect("pad B calibrates");
+    let recognizer_b = Recognizer::new(layout_b, cal_b, config).expect("valid");
+
+    // Two users write concurrently: 'L' on pad A, 'T' on pad B.
+    let user_a = UserProfile::volunteer(2);
+    let user_b = UserProfile::volunteer(5);
+    let writer_a = Writer::new(bench_a.deployment.pad, user_a.clone());
+    let mut pad_b_frame = bench_a.deployment.pad;
+    pad_b_frame.top_left = pad_b_frame.top_left + offset;
+    let writer_b = Writer::new(pad_b_frame, user_b.clone());
+    let session_a = writer_a.write_letter('L', 1.0, &mut rng);
+    let session_b = writer_b.write_letter('T', 1.4, &mut rng);
+
+    // The reader alternates antenna ports in 300 ms dwells.
+    let hand_a = hand_kinematics::trajectory::HandTarget::new(
+        session_a.trajectory.clone(),
+        user_a.hand_rcs_m2,
+    );
+    let arm_a = hand_kinematics::trajectory::HandTarget::with_offset(
+        session_a.trajectory.clone(),
+        user_a.arm_rcs_m2,
+        user_a.arm_offset,
+    );
+    let hand_b = hand_kinematics::trajectory::HandTarget::new(
+        session_b.trajectory.clone(),
+        user_b.hand_rcs_m2,
+    );
+    let arm_b = hand_kinematics::trajectory::HandTarget::with_offset(
+        session_b.trajectory.clone(),
+        user_b.arm_rcs_m2,
+        user_b.arm_offset,
+    );
+    let targets_a: Vec<&dyn MovingTarget> = vec![&hand_a, &arm_a];
+    let targets_b: Vec<&dyn MovingTarget> = vec![&hand_b, &arm_b];
+
+    let duration = session_a.end_time().max(session_b.end_time()) + 2.0;
+    let events = experiments::run_multiplexed(
+        &bench_a.reader,
+        &[
+            experiments::Port {
+                scene: &bench_a.deployment.scene,
+                targets: &targets_a,
+            },
+            experiments::Port {
+                scene: &scene_b,
+                targets: &targets_b,
+            },
+        ],
+        0.3,
+        -0.5,
+        duration,
+        &mut rng,
+    );
+
+    // Dispatch.
+    let mut dispatcher = PadDispatcher::new();
+    let pad_a = dispatcher
+        .register(bench_a.recognizer.clone(), 1.8)
+        .expect("pad A");
+    let pad_b = dispatcher.register(recognizer_b, 1.8).expect("pad B");
+    let mut letters = std::collections::HashMap::new();
+    for e in &events {
+        for routed in dispatcher.push(e.observation) {
+            if let PadEvent::Recognition {
+                pad,
+                event: PipelineEvent::LetterRecognized { letter, .. },
+            } = routed
+            {
+                letters.insert(pad, letter);
+            }
+        }
+    }
+    for routed in dispatcher.finish() {
+        if let PadEvent::Recognition {
+            pad,
+            event: PipelineEvent::LetterRecognized { letter, .. },
+        } = routed
+        {
+            letters.insert(pad, letter);
+        }
+    }
+
+    println!("== Two pads, one reader ==");
+    println!("reads captured: {}", events.len());
+    println!(
+        "pad A (user writes 'L'): recognized {:?}",
+        letters.get(&pad_a).copied().flatten()
+    );
+    println!(
+        "pad B (user writes 'T'): recognized {:?}",
+        letters.get(&pad_b).copied().flatten()
+    );
+    assert_eq!(letters.get(&pad_a).copied().flatten(), Some('L'));
+    assert_eq!(letters.get(&pad_b).copied().flatten(), Some('T'));
+    println!("\nBoth letters recovered from one reader's multiplexed stream — the §I\nmulti-pad claim demonstrated.");
+}

@@ -1,0 +1,92 @@
+//! Plain-text table and series printers for experiment binaries.
+//!
+//! Every experiment binary prints the same rows/series its paper table or
+//! figure reports, through these helpers, so output stays consistent and
+//! greppable (`EXPERIMENTS.md` records the results).
+
+use std::fmt::Display;
+
+/// Prints a titled, aligned table: a header row then data rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints an `(x, y)` series as two aligned columns (one figure curve).
+pub fn print_series<X: Display, Y: Display>(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(X, Y)],
+) {
+    println!("\n== {title} ==");
+    println!("{x_label:>12}  {y_label}");
+    for (x, y) in points {
+        println!("{x:>12}  {y}");
+    }
+}
+
+/// Formats a probability/rate with three decimals.
+pub fn rate(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(rate(0.9412), "0.941");
+        assert_eq!(pct(0.915), "91.5%");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["case", "value"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        print_table("demo", &["one"], &[vec!["a".into(), "b".into()]]);
+    }
+}

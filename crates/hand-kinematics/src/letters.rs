@@ -1,0 +1,314 @@
+//! The tree-structure letter grammar (paper Fig. 10, after Agrawal et al.).
+//!
+//! Every uppercase English letter decomposes into a sequence of the six
+//! directional stroke shapes. This module is the *canonical* table both the
+//! workload generator (how letters are written) and the recognizer (the
+//! grammar trie in the `rfipad` crate) share.
+//!
+//! The paper's evaluation groups letters by stroke count (Fig. 23):
+//! group #1 = 1 stroke {C, I}, #2 = 2 strokes {D,J,L,O,P,S,T,V,X},
+//! #3 = 3 strokes {A,B,F,G,H,K,N,Q,R,U,Y,Z}, #4 = 4 strokes {E,M,W}.
+//! Some letters share a stroke-shape sequence (D/P, O/S, V/X) and are
+//! disambiguated by stroke *positions*, exactly as §III-C2 describes.
+
+use crate::stroke::{PlacedStroke, Stroke, StrokeShape};
+
+use StrokeShape::{ArcLeft, ArcRight, Backslash, HLine, Slash, VLine};
+
+/// The 26 uppercase letters RFIPad recognizes.
+pub const ALPHABET: [char; 26] = [
+    'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S',
+    'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+];
+
+fn fwd(shape: StrokeShape, from: (f64, f64), to: (f64, f64)) -> PlacedStroke {
+    PlacedStroke::new(Stroke::new(shape), from, to)
+}
+
+fn rev(shape: StrokeShape, from: (f64, f64), to: (f64, f64)) -> PlacedStroke {
+    PlacedStroke::new(Stroke::reversed(shape), from, to)
+}
+
+/// The placed stroke sequence for an uppercase letter, in writing order,
+/// over the normalized pad box (`(row, col)` in `[0, 1]²`, row 0 = top).
+///
+/// Returns `None` for characters outside `A..=Z`.
+///
+/// ```
+/// use hand_kinematics::letters::letter_strokes;
+/// let h = letter_strokes('H').unwrap();
+/// assert_eq!(h.len(), 3); // | − |
+/// ```
+pub fn letter_strokes(letter: char) -> Option<Vec<PlacedStroke>> {
+    let strokes = match letter.to_ascii_uppercase() {
+        'A' => vec![
+            fwd(Slash, (1.0, 0.02), (0.0, 0.5)),
+            fwd(Backslash, (0.0, 0.5), (1.0, 0.98)),
+            fwd(HLine, (0.6, 0.2), (0.6, 0.8)),
+        ],
+        'B' => vec![
+            fwd(VLine, (0.0, 0.15), (1.0, 0.15)),
+            fwd(ArcRight, (0.0, 0.15), (0.5, 0.15)),
+            fwd(ArcRight, (0.5, 0.15), (1.0, 0.15)),
+        ],
+        'C' => vec![fwd(ArcLeft, (0.1, 0.75), (0.9, 0.75))],
+        'D' => vec![
+            fwd(VLine, (0.0, 0.25), (1.0, 0.25)),
+            fwd(ArcRight, (0.0, 0.25), (1.0, 0.25)),
+        ],
+        'E' => vec![
+            fwd(VLine, (0.0, 0.15), (1.0, 0.15)),
+            fwd(HLine, (0.0, 0.15), (0.0, 0.95)),
+            fwd(HLine, (0.5, 0.15), (0.5, 0.9)),
+            fwd(HLine, (1.0, 0.15), (1.0, 0.95)),
+        ],
+        'F' => vec![
+            fwd(VLine, (0.0, 0.15), (1.0, 0.15)),
+            fwd(HLine, (0.0, 0.15), (0.0, 0.95)),
+            fwd(HLine, (0.5, 0.15), (0.5, 0.9)),
+        ],
+        'G' => vec![
+            fwd(ArcLeft, (0.08, 0.85), (0.92, 0.85)),
+            fwd(HLine, (0.5, 0.3), (0.5, 0.95)),
+            fwd(VLine, (0.5, 0.95), (0.95, 0.95)),
+        ],
+        'H' => vec![
+            fwd(VLine, (0.0, 0.2), (1.0, 0.2)),
+            fwd(HLine, (0.5, 0.2), (0.5, 0.8)),
+            fwd(VLine, (0.0, 0.8), (1.0, 0.8)),
+        ],
+        'I' => vec![fwd(VLine, (0.0, 0.5), (1.0, 0.5))],
+        'J' => vec![
+            fwd(VLine, (0.0, 0.65), (0.7, 0.65)),
+            rev(ArcLeft, (0.7, 0.65), (0.85, 0.05)),
+        ],
+        'K' => vec![
+            fwd(VLine, (0.0, 0.2), (1.0, 0.2)),
+            rev(Slash, (0.0, 0.8), (0.5, 0.2)),
+            fwd(Backslash, (0.5, 0.2), (1.0, 0.8)),
+        ],
+        'L' => vec![
+            fwd(VLine, (0.0, 0.25), (1.0, 0.25)),
+            fwd(HLine, (1.0, 0.25), (1.0, 0.8)),
+        ],
+        'M' => vec![
+            fwd(VLine, (0.0, 0.08), (1.0, 0.08)),
+            fwd(Backslash, (0.0, 0.08), (0.6, 0.5)),
+            fwd(Slash, (0.6, 0.5), (0.0, 0.92)),
+            fwd(VLine, (0.0, 0.92), (1.0, 0.92)),
+        ],
+        'N' => vec![
+            fwd(VLine, (0.0, 0.2), (1.0, 0.2)),
+            fwd(Backslash, (0.0, 0.2), (1.0, 0.8)),
+            rev(VLine, (1.0, 0.8), (0.0, 0.8)),
+        ],
+        'O' => vec![
+            fwd(ArcLeft, (0.08, 0.5), (0.92, 0.5)),
+            fwd(ArcRight, (0.08, 0.5), (0.92, 0.5)),
+        ],
+        'P' => vec![
+            fwd(VLine, (0.0, 0.25), (1.0, 0.25)),
+            fwd(ArcRight, (0.0, 0.25), (0.55, 0.25)),
+        ],
+        'Q' => vec![
+            fwd(ArcLeft, (0.08, 0.5), (0.85, 0.5)),
+            fwd(ArcRight, (0.08, 0.5), (0.85, 0.5)),
+            fwd(Backslash, (0.55, 0.45), (1.0, 0.95)),
+        ],
+        'R' => vec![
+            fwd(VLine, (0.0, 0.2), (1.0, 0.2)),
+            fwd(ArcRight, (0.0, 0.2), (0.55, 0.2)),
+            fwd(Backslash, (0.55, 0.2), (1.0, 0.95)),
+        ],
+        'S' => vec![
+            fwd(ArcLeft, (0.02, 0.9), (0.5, 0.5)),
+            fwd(ArcRight, (0.5, 0.5), (0.98, 0.1)),
+        ],
+        'T' => vec![
+            fwd(HLine, (0.0, 0.2), (0.0, 0.8)),
+            fwd(VLine, (0.0, 0.5), (1.0, 0.5)),
+        ],
+        'U' => vec![
+            fwd(VLine, (0.0, 0.2), (0.55, 0.2)),
+            fwd(ArcLeft, (0.55, 0.2), (0.55, 0.8)),
+            rev(VLine, (0.55, 0.8), (0.0, 0.8)),
+        ],
+        'V' => vec![
+            fwd(Backslash, (0.0, 0.08), (1.0, 0.5)),
+            fwd(Slash, (1.0, 0.5), (0.0, 0.92)),
+        ],
+        'W' => vec![
+            fwd(Backslash, (0.0, 0.02), (0.65, 0.3)),
+            fwd(Slash, (0.65, 0.3), (0.05, 0.5)),
+            fwd(Backslash, (0.05, 0.5), (0.65, 0.75)),
+            fwd(Slash, (0.65, 0.75), (0.0, 0.98)),
+        ],
+        'X' => vec![
+            fwd(Backslash, (0.0, 0.2), (1.0, 0.8)),
+            fwd(Slash, (1.0, 0.2), (0.0, 0.8)),
+        ],
+        'Y' => vec![
+            fwd(Backslash, (0.0, 0.1), (0.5, 0.5)),
+            fwd(Slash, (0.5, 0.5), (0.0, 0.9)),
+            fwd(VLine, (0.5, 0.5), (1.0, 0.5)),
+        ],
+        'Z' => vec![
+            fwd(HLine, (0.0, 0.1), (0.0, 0.9)),
+            rev(Slash, (0.0, 0.9), (1.0, 0.1)),
+            fwd(HLine, (1.0, 0.1), (1.0, 0.9)),
+        ],
+        _ => return None,
+    };
+    Some(strokes)
+}
+
+/// Number of strokes in a letter, or `None` for non-letters.
+pub fn stroke_count(letter: char) -> Option<usize> {
+    letter_strokes(letter).map(|s| s.len())
+}
+
+/// The letters with exactly `n` strokes — the paper's Fig. 23 groups.
+pub fn letters_with_stroke_count(n: usize) -> Vec<char> {
+    ALPHABET
+        .iter()
+        .copied()
+        .filter(|&c| stroke_count(c) == Some(n))
+        .collect()
+}
+
+/// The shape sequence of a letter (directions stripped), the key the
+/// grammar tree is indexed by.
+pub fn shape_sequence(letter: char) -> Option<Vec<StrokeShape>> {
+    letter_strokes(letter).map(|v| v.iter().map(|p| p.stroke.shape).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_26_letters_defined() {
+        for c in ALPHABET {
+            assert!(letter_strokes(c).is_some(), "letter {c} missing");
+        }
+        assert!(letter_strokes('1').is_none());
+        assert!(letter_strokes('é').is_none());
+    }
+
+    #[test]
+    fn lowercase_maps_to_uppercase() {
+        assert_eq!(stroke_count('h'), stroke_count('H'));
+    }
+
+    #[test]
+    fn stroke_count_groups_match_paper_fig23() {
+        assert_eq!(letters_with_stroke_count(1), vec!['C', 'I']);
+        assert_eq!(
+            letters_with_stroke_count(2),
+            vec!['D', 'J', 'L', 'O', 'P', 'S', 'T', 'V', 'X']
+        );
+        assert_eq!(
+            letters_with_stroke_count(3),
+            vec!['A', 'B', 'F', 'G', 'H', 'K', 'N', 'Q', 'R', 'U', 'Y', 'Z']
+        );
+        assert_eq!(letters_with_stroke_count(4), vec!['E', 'M', 'W']);
+    }
+
+    #[test]
+    fn h_is_bar_dash_bar() {
+        use StrokeShape::*;
+        assert_eq!(shape_sequence('H').unwrap(), vec![VLine, HLine, VLine]);
+    }
+
+    #[test]
+    fn t_is_dash_bar() {
+        use StrokeShape::*;
+        assert_eq!(shape_sequence('T').unwrap(), vec![HLine, VLine]);
+    }
+
+    #[test]
+    fn d_and_p_share_shapes_but_not_geometry() {
+        assert_eq!(shape_sequence('D'), shape_sequence('P'));
+        let d = letter_strokes('D').unwrap();
+        let p = letter_strokes('P').unwrap();
+        // P's bowl ends mid-height, D's at the bottom — the positional cue
+        // §III-C2 uses for disambiguation.
+        assert!((d[1].to.0 - 1.0).abs() < 1e-9);
+        assert!(p[1].to.0 < 0.7);
+    }
+
+    #[test]
+    fn o_and_s_share_shapes_but_not_geometry() {
+        assert_eq!(shape_sequence('O'), shape_sequence('S'));
+        let o = letter_strokes('O').unwrap();
+        let s = letter_strokes('S').unwrap();
+        // O's two arcs share endpoints; S's are stacked.
+        assert_eq!(o[0].from, o[1].from);
+        assert_ne!(s[0].from, s[1].from);
+    }
+
+    #[test]
+    fn v_and_x_share_shapes_but_not_geometry() {
+        assert_eq!(shape_sequence('V'), shape_sequence('X'));
+        let v = letter_strokes('V').unwrap();
+        // V's strokes meet where the first ends and second starts.
+        assert_eq!(v[0].to, v[1].from);
+        let x = letter_strokes('X').unwrap();
+        assert_ne!(x[0].to, x[1].from);
+    }
+
+    #[test]
+    fn placements_stay_in_unit_box() {
+        for c in ALPHABET {
+            for p in letter_strokes(c).unwrap() {
+                for (r, col) in [p.from, p.to] {
+                    assert!((0.0..=1.0).contains(&r), "{c}: row {r}");
+                    assert!((0.0..=1.0).contains(&col), "{c}: col {col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directions_consistent_with_shape() {
+        // The travel vector of each placed stroke must match its declared
+        // shape and direction flag.
+        use StrokeShape::*;
+        for c in ALPHABET {
+            for p in letter_strokes(c).unwrap() {
+                let dr = p.to.0 - p.from.0;
+                let dc = p.to.1 - p.from.1;
+                let ok = match (p.stroke.shape, p.stroke.reversed) {
+                    (Click, _) => true,
+                    (HLine, false) => dc > 0.0 && dr.abs() < 0.3,
+                    (HLine, true) => dc < 0.0 && dr.abs() < 0.3,
+                    (VLine, false) => dr > 0.0 && dc.abs() < 0.3,
+                    (VLine, true) => dr < 0.0 && dc.abs() < 0.3,
+                    (Slash, false) => dr < 0.0 && dc > 0.0,
+                    (Slash, true) => dr > 0.0 && dc < 0.0,
+                    (Backslash, false) => dr > 0.0 && dc > 0.0,
+                    (Backslash, true) => dr < 0.0 && dc < 0.0,
+                    // Arcs: canonical travel is top→bottom-ish; reversed
+                    // arcs travel upward or sideways (J's hook).
+                    (ArcLeft | ArcRight, false) => dr >= 0.0,
+                    (ArcLeft | ArcRight, true) => dr <= 0.3,
+                };
+                assert!(ok, "{c}: {:?} travels ({dr:.2},{dc:.2})", p.stroke);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_strokes_reasonably_close() {
+        // Writing order should not teleport across the pad more than the
+        // pad diagonal (sanity on the table's ordering).
+        for c in ALPHABET {
+            let strokes = letter_strokes(c).unwrap();
+            for w in strokes.windows(2) {
+                let d =
+                    ((w[1].from.0 - w[0].to.0).powi(2) + (w[1].from.1 - w[0].to.1).powi(2)).sqrt();
+                assert!(d <= 1.5, "{c}: jump {d}");
+            }
+        }
+    }
+}

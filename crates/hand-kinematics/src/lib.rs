@@ -1,0 +1,60 @@
+//! In-air handwriting workload generator.
+//!
+//! This crate replaces the paper's ten human volunteers (and the Kinect that
+//! watched them): it synthesizes hand trajectories for the 13 basic strokes
+//! and 26 letters of the RFIPad vocabulary, with per-user speed/height/
+//! sloppiness diversity, minimum-jerk kinematics, and the between-stroke
+//! *adjustment intervals* the recognizer's segmentation depends on.
+//!
+//! - [`stroke`] — the 7 motion shapes / 13 directed strokes and their pad
+//!   geometry;
+//! - [`letters`] — the tree-grammar stroke table for A–Z (paper Fig. 10);
+//! - [`trajectory`] — minimum-jerk timed paths and the [`MovingTarget`]
+//!   adapters exposing hand and forearm to the RF scene;
+//! - [`pad`] — normalized pad ↔ world mapping over a tag array;
+//! - [`user`] — volunteer profiles (paper Fig. 20 diversity);
+//! - [`writer`] — full writing sessions with ground-truth stroke spans;
+//! - [`kinect`] — the simulated ground-truth tracker (paper Fig. 25).
+//!
+//! # Example
+//!
+//! ```
+//! use hand_kinematics::pad::PadFrame;
+//! use hand_kinematics::trajectory::HandTarget;
+//! use hand_kinematics::user::UserProfile;
+//! use hand_kinematics::writer::Writer;
+//! use rf_sim::geometry::Vec3;
+//! use rf_sim::tags::{TagArray, TagModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
+//! let writer = Writer::new(PadFrame::over_array(&array, 0.03), UserProfile::average());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let session = writer.write_letter('H', 1.0, &mut rng);
+//! assert_eq!(session.strokes.len(), 3); // | − |
+//!
+//! // Expose the hand to the RF scene:
+//! let hand = HandTarget::new(session.trajectory.clone(), 0.02);
+//! # let _ = hand;
+//! ```
+//!
+//! [`MovingTarget`]: rf_sim::targets::MovingTarget
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kinect;
+pub mod letters;
+pub mod pad;
+pub mod stroke;
+pub mod trajectory;
+pub mod user;
+pub mod writer;
+
+pub use kinect::{KinectTracker, SkeletalSample};
+pub use pad::PadFrame;
+pub use stroke::{default_placement, PlacedStroke, Stroke, StrokeShape};
+pub use trajectory::{HandTarget, Trajectory};
+pub use user::UserProfile;
+pub use writer::{Writer, WritingSession, WrittenStroke};

@@ -1,0 +1,121 @@
+//! Property-based tests of the kinematics invariants.
+
+use hand_kinematics::letters::{letter_strokes, ALPHABET};
+use hand_kinematics::pad::PadFrame;
+use hand_kinematics::stroke::{default_placement, PlacedStroke, Stroke, StrokeShape};
+use hand_kinematics::trajectory::{min_jerk, trapezoid, Trajectory};
+use hand_kinematics::user::UserProfile;
+use hand_kinematics::writer::Writer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::geometry::Vec3;
+use rf_sim::tags::{TagArray, TagModel};
+
+fn writer(speed: f64) -> Writer {
+    let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
+    Writer::new(
+        PadFrame::over_array(&array, 0.03),
+        UserProfile::average().with_speed(speed),
+    )
+}
+
+proptest! {
+    /// Both velocity profiles are monotone with pinned endpoints.
+    #[test]
+    fn progress_functions_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(min_jerk(lo) <= min_jerk(hi) + 1e-12);
+        prop_assert!(trapezoid(lo) <= trapezoid(hi) + 1e-12);
+        prop_assert!(min_jerk(0.0) == 0.0 && (min_jerk(1.0) - 1.0).abs() < 1e-12);
+        prop_assert!(trapezoid(0.0) == 0.0 && (trapezoid(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    /// A trajectory never teleports: consecutive positions are within the
+    /// physically possible step for the segment's peak speed.
+    #[test]
+    fn trajectories_are_continuous(
+        x in -0.2f64..0.4,
+        y in -0.4f64..0.2,
+        duration in 0.3f64..3.0,
+    ) {
+        let mut tr = Trajectory::new();
+        let from = Vec3::new(0.0, 0.0, 0.03);
+        let to = Vec3::new(x, y, 0.03);
+        tr.push_segment(0.0, duration, vec![from, to]);
+        let len = from.distance(to);
+        // Peak speed of min-jerk is 1.875 × mean speed.
+        let max_step = 1.9 * len / duration * 0.011;
+        let samples = tr.sample(0.01);
+        for pair in samples.windows(2) {
+            prop_assert!(pair[0].1.distance(pair[1].1) <= max_step + 1e-9);
+        }
+    }
+
+    /// Stroke durations respect isochrony: longer strokes take longer, but
+    /// sub-linearly; faster users finish sooner.
+    #[test]
+    fn stroke_duration_isochrony(speed in 0.5f64..2.5) {
+        let w = writer(speed);
+        let short = PlacedStroke::new(Stroke::new(StrokeShape::HLine), (0.5, 0.3), (0.5, 0.7));
+        let long = PlacedStroke::new(Stroke::new(StrokeShape::HLine), (0.5, 0.02), (0.5, 0.98));
+        let d_short = w.stroke_duration(&short);
+        let d_long = w.stroke_duration(&long);
+        prop_assert!(d_long > d_short);
+        // Sub-linear: 2.4× the length takes < 2.4× the time.
+        prop_assert!(d_long / d_short < 2.4);
+        // Faster user is faster.
+        let faster = writer(speed * 1.5);
+        prop_assert!(faster.stroke_duration(&long) < d_long);
+    }
+
+    /// Written sessions have ordered, non-overlapping ground-truth strokes
+    /// separated by genuine pauses, for every letter and any seed.
+    #[test]
+    fn sessions_have_ordered_strokes(letter_idx in 0usize..26, seed in 0u64..500) {
+        let letter = ALPHABET[letter_idx];
+        let w = writer(1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = w.write_letter(letter, 1.0, &mut rng);
+        prop_assert_eq!(session.strokes.len(), letter_strokes(letter).unwrap().len());
+        for pair in session.strokes.windows(2) {
+            prop_assert!(pair[1].start > pair[0].end, "strokes overlap");
+        }
+        for s in &session.strokes {
+            prop_assert!(s.end > s.start);
+        }
+    }
+
+    /// The hand stays near write height during every ground-truth stroke
+    /// span and gets raised between strokes (for a careful, never-sloppy
+    /// writer).
+    #[test]
+    fn hand_height_profile(seed in 0u64..200) {
+        let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
+        let mut careful = UserProfile::average();
+        careful.sloppy_adjust_prob = 0.0;
+        let w = Writer::new(PadFrame::over_array(&array, 0.03), careful);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = w.write_letter('H', 1.0, &mut rng);
+        for s in &session.strokes {
+            let mid = 0.5 * (s.start + s.end);
+            let p = session.trajectory.position(mid).expect("inside span");
+            prop_assert!(p.z < 0.06, "writing height {}", p.z);
+        }
+        // Midpoint of the first pause: raised.
+        let gap_mid = 0.5 * (session.strokes[0].end + session.strokes[1].start);
+        let p = session.trajectory.position(gap_mid).expect("inside span");
+        prop_assert!(p.z > 0.12, "adjustment height {}", p.z);
+    }
+
+    /// Default placements keep every stroke of every shape inside the pad.
+    #[test]
+    fn default_placements_in_unit_box(shape_idx in 0usize..7) {
+        let shape = StrokeShape::all()[shape_idx];
+        let p = default_placement(Stroke::new(shape));
+        for (r, c) in p.waypoints() {
+            prop_assert!((-0.05..=1.05).contains(&r), "row {}", r);
+            prop_assert!((-0.05..=1.05).contains(&c), "col {}", c);
+        }
+    }
+}

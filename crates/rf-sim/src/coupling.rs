@@ -1,0 +1,297 @@
+//! Inter-tag coupling (shadow effect) and path obstruction.
+//!
+//! A passive tag re-radiates part of the power incident on it, disturbing the
+//! electric field of its neighbours; the paper studies this as the *shadow
+//! effect* (§IV-B). The strength is governed by the aggressor's unmodulated
+//! radar scattering cross-section (RCS), the tag-to-tag distance relative to
+//! the near-field boundary λ/2π ≈ 5.2 cm, and the relative antenna facing:
+//!
+//! - two tags 3 cm apart facing the *same* way suppress the victim strongly
+//!   (Fig. 11(b));
+//! - *opposite* facing nearly removes the interference (Fig. 11(c));
+//! - beyond ≈ 12 cm (the far-field boundary 2λ/2π) it is negligible
+//!   (Fig. 11(d)).
+//!
+//! Within an array, shadows from every populated tag accumulate on the
+//! forward link of a victim behind the plate (Fig. 12), scaling with the tag
+//! model's RCS — which is why the paper recommends the small-RCS Impinj
+//! AZ-E53 ("Tag B").
+
+use crate::geometry::Vec3;
+use crate::tags::{Facing, Tag};
+use crate::units::{Db, Meters};
+use std::f64::consts::TAU;
+
+/// Reference RCS (m²) at which [`pair_shadow_db`] reaches its nominal
+/// maximum; equal to the paper's worst tag (Type D).
+const REFERENCE_RCS_M2: f64 = 0.0110;
+
+/// Peak same-facing shadow at contact distance for the reference RCS, dB.
+const MAX_PAIR_SHADOW_DB: f64 = 22.0;
+
+/// Residual coupling factor when facings are opposite.
+const OPPOSITE_FACING_FACTOR: f64 = 0.08;
+
+/// Shadow contribution scale for in-array forward-link blockage,
+/// dB per (m² of RCS), calibrated so three 5-row columns of Type D tags
+/// attenuate a victim behind the plate by ≈ 20 dB (paper Fig. 12).
+const ARRAY_SHADOW_DB_PER_M2: f64 = 230.0;
+
+/// Lateral decay scale (m) of a tag's shadow around the blocked line of
+/// sight.
+const ARRAY_SHADOW_LATERAL_SCALE: f64 = 0.10;
+
+/// Near-field boundary λ/2π (≈ 5.2 cm at 922.38 MHz), inside which coupling
+/// is strongest.
+pub fn near_field_boundary(wavelength: Meters) -> Meters {
+    Meters(wavelength.value() / TAU)
+}
+
+/// Far-field boundary 2λ/2π (≈ 10.4 cm; the paper observes interference is
+/// negligible past ≈ 12 cm).
+pub fn far_field_boundary(wavelength: Meters) -> Meters {
+    Meters(2.0 * wavelength.value() / TAU)
+}
+
+/// Distance falloff of near-field coupling: ≈ 1 inside the near field,
+/// rolling off steeply past it (fourth-order), ≈ 0.03 at the far-field
+/// boundary ×2.
+fn coupling_falloff(distance_m: f64, wavelength: Meters) -> f64 {
+    let nf = near_field_boundary(wavelength).value();
+    1.0 / (1.0 + (distance_m / nf).powi(4))
+}
+
+/// Power suppression (dB, ≥ 0) that `aggressor` inflicts on `victim` when
+/// both are in free space — the paper's tag-pair experiment (Fig. 11).
+///
+/// The suppression grows with the aggressor's RCS, decays with distance on
+/// the near-field scale, and nearly vanishes for opposite facings.
+pub fn pair_shadow_db(aggressor: &Tag, victim: &Tag, wavelength: Meters) -> Db {
+    let d = aggressor.position.distance(victim.position);
+    let facing_factor = if aggressor.facing == victim.facing {
+        1.0
+    } else {
+        OPPOSITE_FACING_FACTOR
+    };
+    let rcs_factor = aggressor.model.rcs_m2() / REFERENCE_RCS_M2;
+    Db(MAX_PAIR_SHADOW_DB * facing_factor * rcs_factor * coupling_falloff(d, wavelength))
+}
+
+/// Total forward-link suppression (dB, ≥ 0) that a populated plate inflicts
+/// on a victim at `victim_pos` illuminated from `antenna_pos` — the paper's
+/// array experiment (Fig. 12).
+///
+/// Each array tag contributes a shadow proportional to its RCS, decaying
+/// with its lateral distance from the antenna→victim line of sight. Tags
+/// facing the same way as `victim_facing` shadow fully; opposite-facing tags
+/// contribute the residual factor.
+pub fn array_shadow_db(
+    array_tags: &[Tag],
+    victim_pos: Vec3,
+    victim_facing: Facing,
+    antenna_pos: Vec3,
+) -> Db {
+    let mut total = 0.0;
+    for tag in array_tags {
+        let lateral = Vec3::point_segment_distance(tag.position, antenna_pos, victim_pos);
+        let geom = 1.0 / (1.0 + (lateral / ARRAY_SHADOW_LATERAL_SCALE).powi(2));
+        let facing_factor = if tag.facing == victim_facing {
+            1.0
+        } else {
+            OPPOSITE_FACING_FACTOR
+        };
+        total += ARRAY_SHADOW_DB_PER_M2 * tag.model.rcs_m2() * facing_factor * geom;
+    }
+    Db(total)
+}
+
+/// Attenuation (dB, ≥ 0) of a direct path from `from` to `to` caused by an
+/// absorbing obstacle of effective radius `radius` centred at `obstacle`
+/// (used for the hand/arm crossing reader–tag LOS paths in the ceiling-
+/// antenna scenario).
+///
+/// Attenuation is `max_db` when the path passes through the obstacle centre
+/// and falls off as a Gaussian of the miss distance. An obstacle whose
+/// perpendicular foot falls outside the open segment does not obstruct at
+/// all — a hand hovering just *beyond* a tag (the NLOS geometry) casts no
+/// shadow on the link arriving from the other side.
+pub fn obstruction_db(obstacle: Vec3, radius: f64, from: Vec3, to: Vec3, max_db: f64) -> Db {
+    assert!(radius > 0.0, "obstacle radius must be positive");
+    let ab = to - from;
+    let len2 = ab.dot(ab);
+    if len2 < 1e-18 {
+        return Db(0.0);
+    }
+    let t = (obstacle - from).dot(ab) / len2;
+    if !(0.0..=1.0).contains(&t) {
+        return Db(0.0);
+    }
+    // Betweenness along the dominant propagation axis: an obstacle whose
+    // lateral projection falls on the segment but which sits *beyond* both
+    // endpoints along the main axis (a hand hovering past the tag plane,
+    // seen from an antenna behind it) casts no shadow.
+    let axis = if ab.z.abs() >= ab.x.abs() && ab.z.abs() >= ab.y.abs() {
+        (from.z, to.z, obstacle.z)
+    } else if ab.x.abs() >= ab.y.abs() {
+        (from.x, to.x, obstacle.x)
+    } else {
+        (from.y, to.y, obstacle.y)
+    };
+    let (lo, hi) = if axis.0 <= axis.1 {
+        (axis.0, axis.1)
+    } else {
+        (axis.1, axis.0)
+    };
+    if axis.2 < lo || axis.2 > hi {
+        return Db(0.0);
+    }
+    let miss = obstacle.distance(from + ab * t);
+    Db(max_db * (-(miss / radius) * (miss / radius)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::{TagId, TagModel};
+    use crate::units::CARRIER_FREQUENCY;
+
+    fn lambda() -> Meters {
+        CARRIER_FREQUENCY.wavelength()
+    }
+
+    fn tag_at(x_cm: f64, facing: Facing, model: TagModel) -> Tag {
+        Tag::new(
+            TagId(0),
+            Vec3::new(x_cm / 100.0, 0.0, 0.0),
+            facing,
+            model,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn boundaries_match_paper_numbers() {
+        let nf = near_field_boundary(lambda()).value();
+        let ff = far_field_boundary(lambda()).value();
+        assert!((nf - 0.052).abs() < 0.002, "near field {nf}");
+        assert!((ff - 0.104).abs() < 0.004, "far field {ff}");
+    }
+
+    #[test]
+    fn same_facing_close_pair_shadows_strongly() {
+        let victim = tag_at(0.0, Facing::Front, TagModel::TypeD);
+        let aggressor = tag_at(3.0, Facing::Front, TagModel::TypeD);
+        let s = pair_shadow_db(&aggressor, &victim, lambda()).value();
+        assert!(s > 10.0, "shadow {s} dB");
+    }
+
+    #[test]
+    fn opposite_facing_nearly_removes_interference() {
+        let victim = tag_at(0.0, Facing::Front, TagModel::TypeD);
+        let same = tag_at(3.0, Facing::Front, TagModel::TypeD);
+        let opp = tag_at(3.0, Facing::Back, TagModel::TypeD);
+        let s_same = pair_shadow_db(&same, &victim, lambda()).value();
+        let s_opp = pair_shadow_db(&opp, &victim, lambda()).value();
+        assert!(s_opp < s_same / 5.0, "same {s_same} opp {s_opp}");
+        assert!(s_opp < 2.5, "opposite-facing shadow {s_opp} dB");
+    }
+
+    #[test]
+    fn shadow_negligible_beyond_12cm() {
+        let victim = tag_at(0.0, Facing::Front, TagModel::TypeD);
+        let far = tag_at(13.0, Facing::Front, TagModel::TypeD);
+        let s = pair_shadow_db(&far, &victim, lambda()).value();
+        assert!(s < 1.0, "far shadow {s} dB");
+    }
+
+    #[test]
+    fn shadow_decreases_monotonically_with_distance() {
+        let victim = tag_at(0.0, Facing::Front, TagModel::TypeA);
+        let mut prev = f64::INFINITY;
+        for d in [3.0, 6.0, 9.0, 12.0, 15.0] {
+            let aggressor = tag_at(d, Facing::Front, TagModel::TypeA);
+            let s = pair_shadow_db(&aggressor, &victim, lambda()).value();
+            assert!(s < prev, "not monotone at {d} cm");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn small_rcs_tag_shadows_less() {
+        let victim = tag_at(0.0, Facing::Front, TagModel::TypeB);
+        let big = tag_at(3.0, Facing::Front, TagModel::TypeD);
+        let small = tag_at(3.0, Facing::Front, TagModel::TypeB);
+        let s_big = pair_shadow_db(&big, &victim, lambda()).value();
+        let s_small = pair_shadow_db(&small, &victim, lambda()).value();
+        assert!(s_small < s_big / 5.0);
+    }
+
+    #[test]
+    fn array_shadow_matches_fig12_scale() {
+        // 3 columns × 5 rows of Type D, 6 cm pitch, victim behind the plate
+        // centre, antenna 50 cm in front: paper measures ≈ 20 dB.
+        let mut tags = Vec::new();
+        for r in 0..5 {
+            for c in 0..3 {
+                tags.push(Tag::new(
+                    TagId((r * 3 + c) as u64),
+                    Vec3::new((c as f64 - 1.0) * 0.06, (r as f64 - 2.0) * 0.06, 0.0),
+                    Facing::Front,
+                    TagModel::TypeD,
+                    0.0,
+                ));
+            }
+        }
+        let victim_pos = Vec3::new(0.0, 0.0, -0.02);
+        let antenna_pos = Vec3::new(0.0, 0.0, 0.5);
+        let s = array_shadow_db(&tags, victim_pos, Facing::Front, antenna_pos).value();
+        assert!(s > 12.0 && s < 30.0, "Type D 3-col shadow {s} dB");
+
+        // Same geometry with Type B: paper measures ≈ 2 dB.
+        let tags_b: Vec<Tag> = tags
+            .iter()
+            .map(|t| Tag::new(t.id, t.position, t.facing, TagModel::TypeB, 0.0))
+            .collect();
+        let s_b = array_shadow_db(&tags_b, victim_pos, Facing::Front, antenna_pos).value();
+        assert!(s_b < 4.0, "Type B 3-col shadow {s_b} dB");
+    }
+
+    #[test]
+    fn array_shadow_grows_with_population() {
+        let antenna_pos = Vec3::new(0.0, 0.0, 0.5);
+        let victim_pos = Vec3::new(0.0, 0.0, -0.02);
+        let mut prev = 0.0;
+        for rows in 1..=5 {
+            let tags: Vec<Tag> = (0..rows)
+                .map(|r| {
+                    Tag::new(
+                        TagId(r as u64),
+                        Vec3::new(0.0, (r as f64 - rows as f64 / 2.0) * 0.06, 0.0),
+                        Facing::Front,
+                        TagModel::TypeA,
+                        0.0,
+                    )
+                })
+                .collect();
+            let s = array_shadow_db(&tags, victim_pos, Facing::Front, antenna_pos).value();
+            assert!(s > prev, "shadow should grow with rows ({rows})");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn obstruction_peaks_on_path_and_decays() {
+        let from = Vec3::new(0.0, 0.0, 1.0);
+        let to = Vec3::ZERO;
+        let on_path = obstruction_db(Vec3::new(0.0, 0.0, 0.5), 0.05, from, to, 12.0);
+        assert!((on_path.value() - 12.0).abs() < 1e-9);
+        let off_path = obstruction_db(Vec3::new(0.2, 0.0, 0.5), 0.05, from, to, 12.0);
+        assert!(off_path.value() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "obstacle radius must be positive")]
+    fn obstruction_rejects_zero_radius() {
+        obstruction_db(Vec3::ZERO, 0.0, Vec3::ZERO, Vec3::ZERO, 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Measurement noise and reader quantization.
+//!
+//! The Impinj Speedway reports phase in 4096 steps over 2π (≈ 0.0015 rad,
+//! the resolution the paper quotes in §III-A) and RSS in 0.5 dB steps. On
+//! top of quantization, every observation carries Gaussian phase/RSS noise
+//! whose magnitude depends on the tag's location (the *deviation bias* of
+//! §III-A2).
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Phase quantization step of the simulated reader: 2π / 4096 ≈ 0.0015 rad,
+/// matching the resolution the paper quotes.
+pub const PHASE_STEP: f64 = TAU / 4096.0;
+
+/// RSS quantization step in dB (Impinj readers report in half-dB units).
+pub const RSS_STEP_DB: f64 = 0.5;
+
+/// Samples a standard-normal variate using the Box–Muller transform.
+///
+/// Implemented locally so the workspace needs no distribution crate.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    mean + sigma * standard_normal(rng)
+}
+
+/// Quantizes a phase to the reader's reporting resolution and wraps it into
+/// `[0, 2π)`.
+///
+/// ```
+/// use rf_sim::noise::{quantize_phase, PHASE_STEP};
+/// let q = quantize_phase(1.0);
+/// assert!((q - 1.0).abs() <= PHASE_STEP / 2.0 + 1e-12);
+/// assert!(q >= 0.0 && q < std::f64::consts::TAU);
+/// ```
+pub fn quantize_phase(phase: f64) -> f64 {
+    let wrapped = phase.rem_euclid(TAU);
+    let q = (wrapped / PHASE_STEP).round() * PHASE_STEP;
+    q.rem_euclid(TAU)
+}
+
+/// Quantizes an RSS value to the reader's 0.5 dB reporting resolution.
+///
+/// ```
+/// use rf_sim::noise::quantize_rss;
+/// assert_eq!(quantize_rss(-41.26), -41.5);
+/// assert_eq!(quantize_rss(-41.24), -41.0);
+/// ```
+pub fn quantize_rss(dbm: f64) -> f64 {
+    (dbm / RSS_STEP_DB).round() * RSS_STEP_DB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 5.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gaussian(&mut rng, 3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn gaussian_rejects_negative_sigma() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gaussian(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn quantize_phase_wraps_and_snaps() {
+        let q = quantize_phase(-0.5);
+        assert!((0.0..TAU).contains(&q));
+        assert!((q - (TAU - 0.5)).abs() < PHASE_STEP);
+        // Exactly representable step values pass through.
+        let v = 100.0 * PHASE_STEP;
+        assert!((quantize_phase(v) - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_phase_near_tau_wraps_to_zero() {
+        let q = quantize_phase(TAU - PHASE_STEP / 4.0);
+        assert!(q.abs() < 1e-12, "expected wrap to 0, got {q}");
+    }
+
+    #[test]
+    fn rss_quantization_step() {
+        assert_eq!(quantize_rss(-40.0), -40.0);
+        assert_eq!(quantize_rss(-40.3), -40.5);
+        assert_eq!(quantize_rss(-40.7), -40.5);
+    }
+
+    #[test]
+    fn phase_step_matches_paper_resolution() {
+        assert!((PHASE_STEP - 0.0015).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,135 @@
+//! CRC-5 and CRC-16 as specified by EPC C1G2 (ISO 18000-6C).
+//!
+//! Gen2 protects Query commands with a CRC-5 (polynomial x⁵+x³+1, preset
+//! `01001`) and tag replies / longer commands with the CCITT CRC-16
+//! (polynomial 0x1021, preset 0xFFFF, output complemented).
+
+/// Computes the Gen2 CRC-5 over a bit sequence (MSB-first bits as booleans).
+///
+/// Polynomial x⁵ + x³ + 1, preset `0b01001`, per the Gen2 air interface.
+///
+/// ```
+/// use rfid_gen2::crc::crc5;
+/// let bits = [true, false, true, true, false, false, true, false];
+/// let c = crc5(&bits);
+/// assert!(c < 32);
+/// ```
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        reg = (reg << 1) & 0b11111;
+        if msb != bit {
+            reg ^= 0b01001; // x^5 + x^3 + 1 -> feedback taps at bits 3 and 0
+        }
+    }
+    reg & 0b11111
+}
+
+/// Verifies a CRC-5 against a bit sequence.
+pub fn crc5_verify(bits: &[bool], crc: u8) -> bool {
+    crc5(bits) == (crc & 0b11111)
+}
+
+/// Computes the Gen2 CRC-16 over bytes: CCITT polynomial 0x1021, preset
+/// 0xFFFF, final complement (CRC-16/GENIBUS).
+///
+/// ```
+/// use rfid_gen2::crc::crc16;
+/// // Standard check value for "123456789".
+/// assert_eq!(crc16(b"123456789"), 0xD64E);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &byte in data {
+        reg ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if reg & 0x8000 != 0 {
+                reg = (reg << 1) ^ 0x1021;
+            } else {
+                reg <<= 1;
+            }
+        }
+    }
+    !reg
+}
+
+/// Verifies a CRC-16 against a byte sequence.
+pub fn crc16_verify(data: &[u8], crc: u16) -> bool {
+    crc16(data) == crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/GENIBUS("123456789") = 0xD64E (complement of CCITT-FALSE's
+        // 0x29B1).
+        assert_eq!(crc16(b"123456789"), 0xD64E);
+        assert_eq!(!crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc16_empty_input() {
+        // Preset 0xFFFF complemented.
+        assert_eq!(crc16(&[]), 0x0000);
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        let msg = b"hello gen2 tag".to_vec();
+        let base = crc16(&msg);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut corrupted = msg.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc16(&corrupted), base, "undetected flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_verify_round_trip() {
+        let msg = [0x30, 0x00, 0x11, 0x22];
+        let crc = crc16(&msg);
+        assert!(crc16_verify(&msg, crc));
+        assert!(!crc16_verify(&msg, crc ^ 1));
+    }
+
+    #[test]
+    fn crc5_is_five_bits() {
+        for n in 0..64usize {
+            let bits: Vec<bool> = (0..16).map(|i| (n >> (i % 6)) & 1 == 1).collect();
+            assert!(crc5(&bits) < 32);
+        }
+    }
+
+    #[test]
+    fn crc5_detects_single_bit_flips() {
+        let bits: Vec<bool> = [1, 0, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0]
+            .iter()
+            .map(|&b| b == 1)
+            .collect();
+        let base = crc5(&bits);
+        for i in 0..bits.len() {
+            let mut corrupted = bits.clone();
+            corrupted[i] = !corrupted[i];
+            assert_ne!(crc5(&corrupted), base, "undetected flip at bit {i}");
+        }
+    }
+
+    #[test]
+    fn crc5_verify_round_trip() {
+        let bits = vec![true; 17];
+        let crc = crc5(&bits);
+        assert!(crc5_verify(&bits, crc));
+        assert!(!crc5_verify(&bits, crc ^ 0b00100));
+    }
+
+    #[test]
+    fn crc5_empty_is_preset() {
+        assert_eq!(crc5(&[]), 0b01001);
+    }
+}

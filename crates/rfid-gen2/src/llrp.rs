@@ -1,0 +1,301 @@
+//! A compact LLRP-style wire format for tag reports.
+//!
+//! The paper's software stack talks to the Speedway reader over LLRP (EPC
+//! "Low Level Reader Protocol") via a modified Octane SDK that enables phase
+//! reporting. This module implements the part of that boundary the RFIPad
+//! host software actually exercises: framing `RO_ACCESS_REPORT` messages
+//! that carry per-read EPC, antenna, RSSI, phase, Doppler, and timestamp —
+//! so downstream code can consume byte streams exactly as a real deployment
+//! would.
+//!
+//! Encodings follow LLRP conventions (big-endian, versioned message header)
+//! but the parameter layout is simplified to a fixed record.
+
+use crate::epc::Epc96;
+use crate::reader::TagReadEvent;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rf_sim::scene::TagObservation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// LLRP protocol version carried in the header (LLRP 1.1).
+const LLRP_VERSION: u8 = 2;
+
+/// Message type for reader → client tag reports.
+pub const MSG_RO_ACCESS_REPORT: u16 = 61;
+
+/// Message type for client → reader keepalive acknowledgements (used in
+/// tests of the framing layer).
+pub const MSG_KEEPALIVE_ACK: u16 = 72;
+
+/// Size in bytes of one encoded tag report record.
+const RECORD_LEN: usize = 12 + 2 + 2 + 2 + 2 + 8;
+
+/// Errors produced when decoding LLRP frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than a complete header or payload.
+    Truncated,
+    /// The version bits do not match the supported LLRP version.
+    BadVersion(u8),
+    /// The payload length is not a whole number of records.
+    BadLength(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated LLRP frame"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported LLRP version {v}"),
+            DecodeError::BadLength(n) => write!(f, "payload length {n} is not a record multiple"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An LLRP message: type, id, and raw payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlrpMessage {
+    /// Message type code.
+    pub msg_type: u16,
+    /// Client-assigned message id.
+    pub msg_id: u32,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl LlrpMessage {
+    /// Encodes the message with the LLRP 10-byte header
+    /// (`rsvd/version/type : u16`, `length : u32`, `id : u32`).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(10 + self.payload.len());
+        let ver_type = ((LLRP_VERSION as u16) << 10) | (self.msg_type & 0x3FF);
+        buf.put_u16(ver_type);
+        buf.put_u32(10 + self.payload.len() as u32);
+        buf.put_u32(self.msg_id);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes one message from the front of `buf`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the buffer does not hold a full
+    /// message, and [`DecodeError::BadVersion`] on a version mismatch.
+    pub fn decode(mut buf: &[u8]) -> Result<(LlrpMessage, usize), DecodeError> {
+        if buf.len() < 10 {
+            return Err(DecodeError::Truncated);
+        }
+        let ver_type = buf.get_u16();
+        let version = (ver_type >> 10) as u8 & 0x7;
+        if version != LLRP_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let msg_type = ver_type & 0x3FF;
+        let length = buf.get_u32() as usize;
+        let msg_id = buf.get_u32();
+        if length < 10 || buf.len() < length - 10 {
+            return Err(DecodeError::Truncated);
+        }
+        let payload = buf[..length - 10].to_vec();
+        Ok((
+            LlrpMessage {
+                msg_type,
+                msg_id,
+                payload,
+            },
+            length,
+        ))
+    }
+}
+
+/// Encodes a batch of tag reads as one `RO_ACCESS_REPORT` message.
+///
+/// Per record: EPC-96 (12 B), antenna (u16), peak RSSI in centi-dBm (i16),
+/// phase in 1/4096-turn units (u16), Doppler in 1/16 Hz (i16), timestamp in
+/// microseconds (u64) — mirroring Impinj's low-level-data report fields.
+pub fn encode_report(events: &[TagReadEvent], msg_id: u32) -> Bytes {
+    let mut payload = BytesMut::with_capacity(events.len() * RECORD_LEN);
+    for e in events {
+        payload.put_slice(e.epc.as_bytes());
+        payload.put_u16(e.antenna_port);
+        let rssi_centi = (e.observation.rss_dbm * 100.0)
+            .round()
+            .clamp(-32768.0, 32767.0) as i16;
+        payload.put_i16(rssi_centi);
+        let phase_units =
+            ((e.observation.phase / std::f64::consts::TAU) * 4096.0).round() as u16 % 4096;
+        payload.put_u16(phase_units);
+        let doppler_units = (e.observation.doppler_hz * 16.0)
+            .round()
+            .clamp(-32768.0, 32767.0) as i16;
+        payload.put_i16(doppler_units);
+        let micros = (e.observation.time * 1e6).round().max(0.0) as u64;
+        payload.put_u64(micros);
+    }
+    LlrpMessage {
+        msg_type: MSG_RO_ACCESS_REPORT,
+        msg_id,
+        payload: payload.to_vec(),
+    }
+    .encode()
+}
+
+/// Decodes an `RO_ACCESS_REPORT` payload back into tag reads.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadLength`] if the payload is not a whole number
+/// of records.
+pub fn decode_report(msg: &LlrpMessage) -> Result<Vec<TagReadEvent>, DecodeError> {
+    if !msg.payload.len().is_multiple_of(RECORD_LEN) {
+        return Err(DecodeError::BadLength(msg.payload.len()));
+    }
+    let mut buf = msg.payload.as_slice();
+    let mut events = Vec::with_capacity(msg.payload.len() / RECORD_LEN);
+    while buf.has_remaining() {
+        let mut epc = [0u8; 12];
+        buf.copy_to_slice(&mut epc);
+        let epc = Epc96::from_bytes(epc);
+        let antenna_port = buf.get_u16();
+        let rss_dbm = buf.get_i16() as f64 / 100.0;
+        let phase = buf.get_u16() as f64 / 4096.0 * std::f64::consts::TAU;
+        let doppler_hz = buf.get_i16() as f64 / 16.0;
+        let time = buf.get_u64() as f64 / 1e6;
+        let tag = epc.to_tag().unwrap_or(rf_sim::tags::TagId(u64::MAX));
+        events.push(TagReadEvent {
+            epc,
+            antenna_port,
+            observation: TagObservation {
+                tag,
+                time,
+                phase,
+                rss_dbm,
+                doppler_hz,
+            },
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_sim::tags::TagId;
+
+    fn sample_event(i: u64) -> TagReadEvent {
+        TagReadEvent {
+            epc: Epc96::for_tag(TagId(i)),
+            antenna_port: 1,
+            observation: TagObservation {
+                tag: TagId(i),
+                time: 1.5 + i as f64 * 0.001,
+                phase: 3.217,
+                rss_dbm: -41.5,
+                doppler_hz: 0.75,
+            },
+        }
+    }
+
+    #[test]
+    fn message_encode_decode_round_trip() {
+        let msg = LlrpMessage {
+            msg_type: MSG_KEEPALIVE_ACK,
+            msg_id: 42,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = msg.encode();
+        let (decoded, consumed) = LlrpMessage::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, msg);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(LlrpMessage::decode(&[0; 5]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let msg = LlrpMessage {
+            msg_type: 1,
+            msg_id: 1,
+            payload: vec![0; 100],
+        };
+        let bytes = msg.encode();
+        assert_eq!(
+            LlrpMessage::decode(&bytes[..50]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let msg = LlrpMessage {
+            msg_type: 1,
+            msg_id: 1,
+            payload: vec![],
+        };
+        let mut bytes = msg.encode().to_vec();
+        bytes[0] = 0xFF; // clobber the version bits
+        assert!(matches!(
+            LlrpMessage::decode(&bytes),
+            Err(DecodeError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn report_round_trip_preserves_fields() {
+        let events: Vec<TagReadEvent> = (0..5).map(sample_event).collect();
+        let bytes = encode_report(&events, 7);
+        let (msg, _) = LlrpMessage::decode(&bytes).expect("decodes");
+        assert_eq!(msg.msg_type, MSG_RO_ACCESS_REPORT);
+        assert_eq!(msg.msg_id, 7);
+        let decoded = decode_report(&msg).expect("payload valid");
+        assert_eq!(decoded.len(), 5);
+        for (orig, dec) in events.iter().zip(&decoded) {
+            assert_eq!(dec.epc, orig.epc);
+            assert_eq!(dec.observation.tag, orig.observation.tag);
+            assert!((dec.observation.rss_dbm - orig.observation.rss_dbm).abs() < 0.01);
+            // Phase survives to quantization resolution (2π/4096).
+            assert!((dec.observation.phase - orig.observation.phase).abs() < 0.002);
+            assert!((dec.observation.doppler_hz - orig.observation.doppler_hz).abs() < 0.07);
+            assert!((dec.observation.time - orig.observation.time).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let bytes = encode_report(&[], 1);
+        let (msg, _) = LlrpMessage::decode(&bytes).expect("decodes");
+        assert!(decode_report(&msg).expect("valid").is_empty());
+    }
+
+    #[test]
+    fn garbage_payload_length_rejected() {
+        let msg = LlrpMessage {
+            msg_type: MSG_RO_ACCESS_REPORT,
+            msg_id: 1,
+            payload: vec![0; RECORD_LEN + 3],
+        };
+        assert!(matches!(
+            decode_report(&msg),
+            Err(DecodeError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_messages_in_one_buffer() {
+        let a = encode_report(&[sample_event(1)], 1);
+        let b = encode_report(&[sample_event(2), sample_event(3)], 2);
+        let mut stream = a.to_vec();
+        stream.extend_from_slice(&b);
+        let (m1, used) = LlrpMessage::decode(&stream).expect("first");
+        let (m2, _) = LlrpMessage::decode(&stream[used..]).expect("second");
+        assert_eq!(decode_report(&m1).expect("ok").len(), 1);
+        assert_eq!(decode_report(&m2).expect("ok").len(), 2);
+    }
+}

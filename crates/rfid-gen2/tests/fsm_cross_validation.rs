@@ -1,0 +1,175 @@
+//! Cross-validation of the two MAC models: a reader driven entirely
+//! through the bit-level tag FSMs must singulate a population with the
+//! same qualitative behaviour (full coverage, collision/empty dynamics)
+//! the slot-level `inventory` module assumes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::tags::TagId;
+use rfid_gen2::epc::Epc96;
+use rfid_gen2::protocol::{Command, MillerM, Reply, Session, TagFsm, Target};
+use std::collections::HashSet;
+
+/// A minimal FSM-level reader: runs Query/QueryRep/ACK rounds against a
+/// set of tag state machines until every tag has been read once, counting
+/// slot outcomes.
+struct FsmReader {
+    tags: Vec<TagFsm>,
+    rng: StdRng,
+    successes: usize,
+    collisions: usize,
+    empties: usize,
+    read_epcs: HashSet<Epc96>,
+}
+
+impl FsmReader {
+    fn new(count: u64, seed: u64) -> Self {
+        Self {
+            tags: (0..count)
+                .map(|i| TagFsm::new(Epc96::for_tag(TagId(i))))
+                .collect(),
+            rng: StdRng::seed_from_u64(seed),
+            successes: 0,
+            collisions: 0,
+            empties: 0,
+            read_epcs: HashSet::new(),
+        }
+    }
+
+    fn broadcast(&mut self, cmd: &Command) -> Vec<(usize, Reply)> {
+        let mut replies = Vec::new();
+        for (i, tag) in self.tags.iter_mut().enumerate() {
+            if let Some(r) = tag.handle(cmd, &mut self.rng) {
+                replies.push((i, r));
+            }
+        }
+        replies
+    }
+
+    /// One full round with the given Q; returns true if progress was made.
+    fn round(&mut self, q: u8) -> bool {
+        let query = Command::Query {
+            dr: false,
+            m: MillerM::M4,
+            trext: true,
+            session: Session::S1,
+            target: Target::A,
+            q,
+        };
+        let mut replies = self.broadcast(&query);
+        let before = self.successes;
+        for _slot in 0..(1u32 << q) {
+            match replies.len() {
+                0 => self.empties += 1,
+                1 => {
+                    let (idx, reply) = replies.pop().expect("one reply");
+                    let rn16 = match reply {
+                        Reply::Rn16(r) => r,
+                        other => panic!("expected RN16, got {other:?}"),
+                    };
+                    // ACK exactly the replying tag; broadcast is fine — the
+                    // RN16 match gates acceptance.
+                    let ack = Command::Ack { rn16 };
+                    let epc_replies = self.broadcast(&ack);
+                    assert_eq!(epc_replies.len(), 1, "exactly the acked tag answers");
+                    let (epc_idx, epc_reply) = &epc_replies[0];
+                    assert_eq!(*epc_idx, idx, "the singulated tag delivers its EPC");
+                    if let Reply::EpcFrame { pc, epc, crc } = epc_reply {
+                        assert!(rfid_gen2::protocol::verify_epc_frame(*pc, epc, *crc));
+                        self.read_epcs.insert(*epc);
+                        self.successes += 1;
+                    } else {
+                        panic!("expected EPC frame");
+                    }
+                }
+                _ => {
+                    self.collisions += 1;
+                    // Colliding RN16s garble; reader NAKs and moves on.
+                    self.broadcast(&Command::Nak);
+                }
+            }
+            replies = self.broadcast(&Command::QueryRep {
+                session: Session::S1,
+            });
+        }
+        self.successes > before
+    }
+}
+
+#[test]
+fn fsm_reader_singulates_entire_population() {
+    let mut reader = FsmReader::new(25, 7);
+    for _round in 0..60 {
+        reader.round(5);
+        if reader.read_epcs.len() == 25 {
+            break;
+        }
+    }
+    assert_eq!(reader.read_epcs.len(), 25, "every tag read");
+    // Behavioural cross-check with the slot-level model's assumptions:
+    // with 2^5 slots for 25 tags some slots collide and some are empty.
+    assert!(
+        reader.collisions > 0,
+        "collisions occur at Q=5 with 25 tags"
+    );
+    assert!(reader.empties > 0, "empty slots occur");
+    assert_eq!(
+        reader.successes, 25,
+        "each success corresponds to one unique EPC"
+    );
+}
+
+#[test]
+fn small_q_forces_collisions_large_q_mostly_empties() {
+    // The slot-level Q-algorithm adapts on exactly this signal; the FSM
+    // model must exhibit it.
+    let mut crowded = FsmReader::new(20, 11);
+    crowded.round(1); // 2 slots for 20 tags
+    assert!(crowded.collisions >= 1, "tiny Q must collide");
+
+    let mut sparse = FsmReader::new(2, 12);
+    sparse.round(7); // 128 slots for 2 tags
+    assert!(
+        sparse.empties > 100,
+        "huge Q wastes slots: {}",
+        sparse.empties
+    );
+}
+
+#[test]
+fn session_flags_keep_read_tags_out_until_retarget() {
+    let mut reader = FsmReader::new(5, 13);
+    for _ in 0..40 {
+        reader.round(3);
+        if reader.read_epcs.len() == 5 {
+            break;
+        }
+    }
+    assert_eq!(reader.read_epcs.len(), 5);
+    // All flags are now B; another target-A round reads nobody.
+    let before = reader.successes;
+    reader.round(3);
+    assert_eq!(
+        reader.successes, before,
+        "flag-B tags sit out target-A rounds"
+    );
+    // A target-B query brings them back (dual-target behaviour).
+    let query_b = Command::Query {
+        dr: false,
+        m: MillerM::M4,
+        trext: true,
+        session: Session::S1,
+        target: Target::B,
+        q: 3,
+    };
+    let replies = reader.broadcast(&query_b);
+    let arbitrating = reader
+        .tags
+        .iter()
+        .filter(|t| t.state() != rfid_gen2::protocol::TagState::Ready)
+        .count();
+    assert!(
+        !replies.is_empty() || arbitrating > 0,
+        "retargeting B re-engages the population"
+    );
+}

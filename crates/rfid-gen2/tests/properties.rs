@@ -1,0 +1,108 @@
+//! Property-based tests of the Gen2 protocol substrate.
+
+use proptest::prelude::*;
+use rf_sim::scene::TagObservation;
+use rf_sim::tags::TagId;
+use rfid_gen2::crc::{crc16, crc16_verify, crc5, crc5_verify};
+use rfid_gen2::epc::Epc96;
+use rfid_gen2::llrp::{decode_report, encode_report, LlrpMessage};
+use rfid_gen2::reader::TagReadEvent;
+use rfid_gen2::QAlgorithm;
+
+proptest! {
+    /// CRC-16 verifies its own output and rejects any single-bit flip.
+    #[test]
+    fn crc16_round_trip_and_flip(data in prop::collection::vec(any::<u8>(), 1..64), flip in 0usize..512) {
+        let crc = crc16(&data);
+        prop_assert!(crc16_verify(&data, crc));
+        let byte = (flip / 8) % data.len();
+        let bit = flip % 8;
+        let mut corrupted = data.clone();
+        corrupted[byte] ^= 1 << bit;
+        prop_assert!(!crc16_verify(&corrupted, crc));
+    }
+
+    /// CRC-5 stays in range and rejects single-bit flips.
+    #[test]
+    fn crc5_round_trip_and_flip(bits in prop::collection::vec(any::<bool>(), 1..64), flip in 0usize..64) {
+        let crc = crc5(&bits);
+        prop_assert!(crc < 32);
+        prop_assert!(crc5_verify(&bits, crc));
+        let idx = flip % bits.len();
+        let mut corrupted = bits.clone();
+        corrupted[idx] = !corrupted[idx];
+        prop_assert!(!crc5_verify(&corrupted, crc));
+    }
+
+    /// EPC minting round-trips every tag id.
+    #[test]
+    fn epc_round_trip(id in any::<u64>()) {
+        prop_assert_eq!(Epc96::for_tag(TagId(id)).to_tag(), Some(TagId(id)));
+    }
+
+    /// LLRP message framing round-trips any payload.
+    #[test]
+    fn llrp_frame_round_trip(
+        msg_type in 0u16..1024,
+        msg_id in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = LlrpMessage { msg_type, msg_id, payload };
+        let bytes = msg.encode();
+        let (decoded, used) = LlrpMessage::decode(&bytes).expect("well-formed");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Tag reports survive the wire format to quantization accuracy.
+    #[test]
+    fn report_round_trip(
+        reads in prop::collection::vec(
+            (0u64..1000, 0.0f64..100.0, 0.0f64..6.2, -90.0f64..-20.0, -30.0f64..30.0),
+            0..40,
+        ),
+    ) {
+        let events: Vec<TagReadEvent> = reads
+            .iter()
+            .map(|&(id, time, phase, rss, doppler)| TagReadEvent {
+                epc: Epc96::for_tag(TagId(id)),
+                antenna_port: 1,
+                observation: TagObservation {
+                    tag: TagId(id),
+                    time,
+                    phase,
+                    rss_dbm: rss,
+                    doppler_hz: doppler,
+                },
+            })
+            .collect();
+        let wire = encode_report(&events, 3);
+        let (msg, _) = LlrpMessage::decode(&wire).expect("frame");
+        let decoded = decode_report(&msg).expect("payload");
+        prop_assert_eq!(decoded.len(), events.len());
+        for (orig, dec) in events.iter().zip(&decoded) {
+            prop_assert_eq!(dec.epc, orig.epc);
+            prop_assert!((dec.observation.phase - orig.observation.phase).abs() < 0.002);
+            prop_assert!((dec.observation.rss_dbm - orig.observation.rss_dbm).abs() < 0.01);
+            prop_assert!((dec.observation.doppler_hz - orig.observation.doppler_hz).abs() < 0.07);
+            prop_assert!((dec.observation.time - orig.observation.time).abs() < 1e-5);
+        }
+    }
+
+    /// The Q-algorithm never leaves [0, 15] under any event sequence.
+    #[test]
+    fn q_algorithm_bounded(
+        initial in 0u8..16,
+        events in prop::collection::vec(0u8..3, 0..500),
+    ) {
+        let mut q = QAlgorithm::new(initial);
+        for e in events {
+            match e {
+                0 => q.on_empty(),
+                1 => q.on_collision(),
+                _ => q.on_success(),
+            }
+            prop_assert!(q.q() <= 15);
+        }
+    }
+}

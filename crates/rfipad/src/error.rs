@@ -1,0 +1,64 @@
+//! Error types for the RFIPad pipeline.
+
+use rf_sim::tags::TagId;
+use std::fmt;
+
+/// Errors surfaced by the RFIPad recognition pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RfipadError {
+    /// The layout does not contain the referenced tag.
+    UnknownTag(TagId),
+    /// Calibration was attempted with too few static samples for a tag.
+    InsufficientCalibration {
+        /// The under-sampled tag.
+        tag: TagId,
+        /// Samples available.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// An observation stream was empty where data was required.
+    EmptyStream,
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RfipadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfipadError::UnknownTag(id) => write!(f, "tag {id} is not in the array layout"),
+            RfipadError::InsufficientCalibration { tag, got, need } => write!(
+                f,
+                "calibration for {tag} needs {need} static samples, got {got}"
+            ),
+            RfipadError::EmptyStream => write!(f, "observation stream is empty"),
+            RfipadError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RfipadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RfipadError::UnknownTag(TagId(3));
+        assert!(e.to_string().contains("tag-0003"));
+        let e = RfipadError::InsufficientCalibration {
+            tag: TagId(1),
+            got: 2,
+            need: 10,
+        };
+        assert!(e.to_string().contains("needs 10"));
+        assert!(!RfipadError::EmptyStream.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RfipadError>();
+    }
+}

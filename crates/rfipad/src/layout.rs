@@ -1,0 +1,157 @@
+//! The logical tag-array layout: tag ids ↔ grid positions.
+
+use crate::error::RfipadError;
+use rf_sim::tags::{TagArray, TagId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The recognizer's view of the tag plate: which tag sits at which grid
+/// cell. Decoupled from the physical [`TagArray`] so the pipeline can run
+/// from recorded LLRP streams without a simulator present.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayLayout {
+    rows: usize,
+    cols: usize,
+    cells: Vec<TagId>,
+    index: HashMap<TagId, (usize, usize)>,
+}
+
+impl ArrayLayout {
+    /// Builds a layout from row-major tag ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, `cells.len() != rows * cols`, or a tag
+    /// id repeats.
+    pub fn new(rows: usize, cols: usize, cells: Vec<TagId>) -> Self {
+        assert!(rows > 0 && cols > 0, "layout dimensions must be nonzero");
+        assert_eq!(cells.len(), rows * cols, "cell count mismatch");
+        let mut index = HashMap::with_capacity(cells.len());
+        for (i, &id) in cells.iter().enumerate() {
+            let prev = index.insert(id, (i / cols, i % cols));
+            assert!(prev.is_none(), "duplicate tag id {id}");
+        }
+        Self {
+            rows,
+            cols,
+            cells,
+            index,
+        }
+    }
+
+    /// Derives the layout from a physical array.
+    pub fn from_array(array: &TagArray) -> Self {
+        Self::new(
+            array.rows(),
+            array.cols(),
+            array.tags().iter().map(|t| t.id).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total tag count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the layout is empty (never true — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All tag ids, row-major.
+    pub fn tags(&self) -> &[TagId] {
+        &self.cells
+    }
+
+    /// Grid position of a tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfipadError::UnknownTag`] for ids outside the layout.
+    pub fn position(&self, id: TagId) -> Result<(usize, usize), RfipadError> {
+        self.index
+            .get(&id)
+            .copied()
+            .ok_or(RfipadError::UnknownTag(id))
+    }
+
+    /// The tag at a grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> TagId {
+        assert!(row < self.rows && col < self.cols, "cell out of bounds");
+        self.cells[row * self.cols + col]
+    }
+
+    /// Whether the layout contains a tag.
+    pub fn contains(&self, id: TagId) -> bool {
+        self.index.contains_key(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_sim::geometry::Vec3;
+    use rf_sim::tags::TagModel;
+
+    fn layout() -> ArrayLayout {
+        ArrayLayout::new(2, 3, (0..6).map(TagId).collect())
+    }
+
+    #[test]
+    fn positions_row_major() {
+        let l = layout();
+        assert_eq!(l.position(TagId(0)).unwrap(), (0, 0));
+        assert_eq!(l.position(TagId(4)).unwrap(), (1, 1));
+        assert_eq!(l.at(1, 2), TagId(5));
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let l = layout();
+        assert_eq!(
+            l.position(TagId(99)),
+            Err(RfipadError::UnknownTag(TagId(99)))
+        );
+        assert!(!l.contains(TagId(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tag id")]
+    fn duplicate_ids_rejected() {
+        ArrayLayout::new(1, 2, vec![TagId(1), TagId(1)]);
+    }
+
+    #[test]
+    fn from_array_matches_physical_layout() {
+        let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
+        let l = ArrayLayout::from_array(&array);
+        assert_eq!(l.rows(), 5);
+        assert_eq!(l.cols(), 5);
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(l.position(array.at(r, c).id).unwrap(), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_emptiness() {
+        let l = layout();
+        assert_eq!(l.len(), 6);
+        assert!(!l.is_empty());
+    }
+}

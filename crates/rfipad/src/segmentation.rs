@@ -1,0 +1,368 @@
+//! Stroke segmentation from continuous phase streams (§III-C1).
+//!
+//! Writers pause between strokes to reposition (the *adjustment interval*).
+//! During a stroke every tag's suppressed phase swings; during an
+//! adjustment the streams are quiet. RFIPad frames the streams (100 ms),
+//! computes the multi-tag RMS per frame (Eq. 11), and flags windows whose
+//! `std(rms(w))` exceeds a threshold (Eq. 12). Runs of active frames become
+//! stroke spans.
+
+use crate::calibration::Calibration;
+use crate::config::RfipadConfig;
+use crate::layout::ArrayLayout;
+use crate::streams::TagStreams;
+use serde::{Deserialize, Serialize};
+use sigproc::frames::FrameSeq;
+
+/// A detected stroke span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrokeSpan {
+    /// Span start time (s).
+    pub start: f64,
+    /// Span end time (s).
+    pub end: f64,
+}
+
+impl StrokeSpan {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Overlap duration with another span (0 if disjoint).
+    pub fn overlap(&self, other: &StrokeSpan) -> f64 {
+        (self.end.min(other.end) - self.start.max(other.start)).max(0.0)
+    }
+}
+
+/// Per-frame segmentation diagnostics (the paper's Fig. 9 panels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameScore {
+    /// Frame start time.
+    pub time: f64,
+    /// Multi-tag RMS of the frame (Eq. 11).
+    pub rms: f64,
+    /// `std(rms)` of the window centred on this frame (Eq. 12 left side).
+    pub window_std: f64,
+    /// Whether the frame is part of a stroke.
+    pub active: bool,
+}
+
+/// Segmentation result: spans plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segmentation {
+    /// Detected stroke spans in time order.
+    pub spans: Vec<StrokeSpan>,
+    /// Per-frame scores (for inspection / figures).
+    pub frames: Vec<FrameScore>,
+    /// The activity threshold used.
+    pub threshold: f64,
+}
+
+/// Splits continuous streams into stroke spans.
+#[derive(Debug, Clone, Default)]
+pub struct Segmenter {
+    config: RfipadConfig,
+}
+
+impl Segmenter {
+    /// Creates a segmenter.
+    pub fn new(config: RfipadConfig) -> Self {
+        Self { config }
+    }
+
+    /// Segments the streams using the calibrated activity thresholds.
+    pub fn segment(
+        &self,
+        layout: &ArrayLayout,
+        streams: &TagStreams,
+        calibration: &Calibration,
+    ) -> Segmentation {
+        self.segment_inner(
+            layout,
+            streams,
+            Some(calibration.noise_floors(layout, &self.config)),
+            calibration.activity_threshold(&self.config),
+            calibration.rms_level_threshold(&self.config),
+        )
+    }
+
+    /// Segments with the variance criterion only (the paper's literal
+    /// Eq. 12; ablations / tuning).
+    pub fn segment_with_threshold(
+        &self,
+        layout: &ArrayLayout,
+        streams: &TagStreams,
+        threshold: f64,
+    ) -> Segmentation {
+        self.segment_with_thresholds(layout, streams, threshold, f64::INFINITY)
+    }
+
+    /// Segments with explicit variance and RMS-level thresholds. A frame is
+    /// active when every window containing it exceeds the variance
+    /// threshold (Eq. 12 with erosion) *or* its own multi-tag RMS exceeds
+    /// the level threshold.
+    pub fn segment_with_thresholds(
+        &self,
+        layout: &ArrayLayout,
+        streams: &TagStreams,
+        threshold: f64,
+        rms_threshold: f64,
+    ) -> Segmentation {
+        self.segment_inner(layout, streams, None, threshold, rms_threshold)
+    }
+
+    fn segment_inner(
+        &self,
+        layout: &ArrayLayout,
+        streams: &TagStreams,
+        floors: Option<Vec<f64>>,
+        threshold: f64,
+        rms_threshold: f64,
+    ) -> Segmentation {
+        let (Some(start), Some(end)) = (streams.start(), streams.end()) else {
+            return Segmentation {
+                spans: Vec::new(),
+                frames: Vec::new(),
+                threshold,
+            };
+        };
+        let series = streams.phase_series(layout);
+        let frame_seq = FrameSeq::build_with_floors(
+            &series,
+            floors.as_deref(),
+            start,
+            end,
+            self.config.frame_len_s,
+        );
+        let frames = frame_seq.frames();
+        let n = frames.len();
+        let w = self.config.window_frames;
+        let half = w / 2;
+
+        // Per-frame score: std(rms) of the window centred on the frame
+        // (shrinking at the edges).
+        let rms: Vec<f64> = frames.iter().map(|f| f.rms).collect();
+        let window_std: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                sigproc::stats::std_dev(&rms[lo..hi])
+            })
+            .collect();
+        // A window overlapping a stroke edge is active even though most of
+        // its frames are quiet; to keep spans tight (and isolated one-frame
+        // twitches from smearing into stroke-length spans) a frame counts
+        // as active only when *every* window containing it is active —
+        // erosion matching the earlier dilation.
+        let mut scores = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let eroded = window_std[lo..hi]
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            scores.push(FrameScore {
+                time: frames[i].start,
+                rms: rms[i],
+                window_std: window_std[i],
+                active: eroded > threshold || rms[i] > rms_threshold,
+            });
+        }
+
+        // Merge runs of active frames into raw spans.
+        let mut raw_spans: Vec<(usize, usize)> = Vec::new(); // [start, end) frame indices
+        let mut run_start: Option<usize> = None;
+        #[allow(clippy::needless_range_loop)] // the i == n sentinel closes a trailing run
+        for i in 0..=n {
+            let active = i < n && scores[i].active;
+            match (active, run_start) {
+                (true, None) => run_start = Some(i),
+                (false, Some(s)) => {
+                    raw_spans.push((s, i));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+
+        // Bridge brief lulls: a hand changing direction mid-stroke can dip
+        // the window variance for a frame or two, which must not split the
+        // stroke. Real adjustment intervals are several frames long.
+        let bridge_frames = 2usize;
+        let mut bridged: Vec<(usize, usize)> = Vec::new();
+        for span in raw_spans {
+            match bridged.last_mut() {
+                Some(prev) if span.0 - prev.1 <= bridge_frames => prev.1 = span.1,
+                _ => bridged.push(span),
+            }
+        }
+
+        // Drop bursts shorter than the minimum stroke length.
+        let mut spans = Vec::new();
+        for (s, e) in bridged {
+            if e - s >= self.config.min_stroke_frames {
+                spans.push(StrokeSpan {
+                    start: frames[s].start,
+                    end: frames[e - 1].end(),
+                });
+            } else {
+                // Too short: clear the activity flags for honesty in
+                // diagnostics.
+                for score in &mut scores[s..e] {
+                    score.active = false;
+                }
+            }
+        }
+
+        Segmentation {
+            spans,
+            frames: scores,
+            threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_sim::scene::TagObservation;
+    use rf_sim::tags::TagId;
+    use std::f64::consts::TAU;
+
+    fn layout() -> ArrayLayout {
+        ArrayLayout::new(1, 3, vec![TagId(0), TagId(1), TagId(2)])
+    }
+
+    fn obs(tag: TagId, time: f64, phase: f64) -> TagObservation {
+        TagObservation {
+            tag,
+            time,
+            phase: phase.rem_euclid(TAU),
+            rss_dbm: -45.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    /// Streams quiet except for phase wiggles during [2, 3.5) and [5, 6).
+    fn two_stroke_streams() -> TagStreams {
+        let mut observations = Vec::new();
+        for step in 0..400 {
+            let t = step as f64 * 0.02; // 8 s at 50 Hz
+            let active = (2.0..3.5).contains(&t) || (5.0..6.0).contains(&t);
+            for (i, base) in [(0u64, 1.0), (1, 3.0), (2, 5.0)] {
+                let wiggle = if active {
+                    0.8 * ((t * 22.0) + i as f64).sin()
+                } else {
+                    0.01 * ((t * 3.0) + i as f64).sin()
+                };
+                observations.push(obs(TagId(i), t + i as f64 * 0.001, base + wiggle));
+            }
+        }
+        TagStreams::build(&layout(), None, &observations)
+    }
+
+    fn segmenter() -> Segmenter {
+        Segmenter::new(RfipadConfig::default())
+    }
+
+    #[test]
+    fn two_strokes_found() {
+        let streams = two_stroke_streams();
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 0.1);
+        assert_eq!(seg.spans.len(), 2, "spans {:?}", seg.spans);
+        let s0 = seg.spans[0];
+        let s1 = seg.spans[1];
+        assert!((s0.start - 2.0).abs() < 0.4, "s0 {s0:?}");
+        assert!((s0.end - 3.5).abs() < 0.4);
+        assert!((s1.start - 5.0).abs() < 0.4, "s1 {s1:?}");
+        assert!((s1.end - 6.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn quiet_streams_have_no_spans() {
+        let mut observations = Vec::new();
+        for step in 0..200 {
+            let t = step as f64 * 0.02;
+            for i in 0..3u64 {
+                observations.push(obs(TagId(i), t + i as f64 * 0.001, 1.0 + i as f64));
+            }
+        }
+        let streams = TagStreams::build(&layout(), None, &observations);
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 0.1);
+        assert!(seg.spans.is_empty(), "{:?}", seg.spans);
+    }
+
+    #[test]
+    fn short_bursts_dropped() {
+        // One 0.1 s twitch (a single frame) must not become a stroke.
+        let mut observations = Vec::new();
+        for step in 0..300 {
+            let t = step as f64 * 0.02;
+            let active = (2.0..2.1).contains(&t);
+            for i in 0..3u64 {
+                let wiggle = if active { 1.0 * (t * 60.0).sin() } else { 0.0 };
+                observations.push(obs(TagId(i), t + i as f64 * 0.001, 1.0 + i as f64 + wiggle));
+            }
+        }
+        let streams = TagStreams::build(&layout(), None, &observations);
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 0.1);
+        assert!(seg.spans.is_empty(), "{:?}", seg.spans);
+    }
+
+    #[test]
+    fn frame_scores_cover_run_and_flag_activity() {
+        let streams = two_stroke_streams();
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 0.1);
+        assert!(!seg.frames.is_empty());
+        // Scores rise during strokes.
+        let active_std: f64 = seg
+            .frames
+            .iter()
+            .filter(|f| (2.2..3.2).contains(&f.time))
+            .map(|f| f.window_std)
+            .sum::<f64>();
+        let quiet_std: f64 = seg
+            .frames
+            .iter()
+            .filter(|f| (0.5..1.5).contains(&f.time))
+            .map(|f| f.window_std)
+            .sum::<f64>();
+        assert!(active_std > 5.0 * quiet_std);
+    }
+
+    #[test]
+    fn empty_streams_give_empty_segmentation() {
+        let streams = TagStreams::default();
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 0.1);
+        assert!(seg.spans.is_empty());
+        assert!(seg.frames.is_empty());
+    }
+
+    #[test]
+    fn span_overlap_math() {
+        let a = StrokeSpan {
+            start: 1.0,
+            end: 2.0,
+        };
+        let b = StrokeSpan {
+            start: 1.5,
+            end: 3.0,
+        };
+        let c = StrokeSpan {
+            start: 2.5,
+            end: 3.0,
+        };
+        assert!((a.overlap(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.overlap(&c), 0.0);
+        assert!((a.duration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_too_high_misses_strokes() {
+        let streams = two_stroke_streams();
+        let seg = segmenter().segment_with_threshold(&layout(), &streams, 1e6);
+        assert!(seg.spans.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-tag signal streams assembled from the reader's report stream.
+//!
+//! Tag reads arrive serialized by the Gen2 MAC, one tag at a time. This
+//! module regroups them into per-tag phase and RSS time series, applying
+//! phase de-periodicity (unwrapping, §III-A3) and — when a calibration is
+//! supplied — the Eq. 8 tag-diversity suppression that re-centres every
+//! tag's phase around zero.
+
+use crate::calibration::{wrap_to_pi, Calibration};
+use crate::layout::ArrayLayout;
+use rf_sim::scene::TagObservation;
+use rf_sim::tags::TagId;
+use serde::{Deserialize, Serialize};
+use sigproc::series::TimeSeries;
+use sigproc::unwrap::StreamingUnwrapper;
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+/// Per-tag phase and RSS time series over one recording.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TagStreams {
+    phase: HashMap<TagId, TimeSeries>,
+    rss: HashMap<TagId, TimeSeries>,
+    start: Option<f64>,
+    end: Option<f64>,
+}
+
+impl TagStreams {
+    /// Builds streams from observations.
+    ///
+    /// With `calibration = Some(..)` the phase stream of tag *i* is the
+    /// unwrapped `θᵢⱼ − θ̃ᵢ` (Eq. 8): continuous and starting in `(−π, π]`.
+    /// With `None` (the paper's no-suppression baseline) it is the raw
+    /// unwrapped phase, whose centre value keeps the tag's hardware offset.
+    ///
+    /// Observations for tags outside `layout` are ignored (a public-area
+    /// reader hears unrelated tags too).
+    pub fn build<'a>(
+        layout: &ArrayLayout,
+        calibration: Option<&Calibration>,
+        observations: impl IntoIterator<Item = &'a TagObservation>,
+    ) -> Self {
+        let mut unwrappers: HashMap<TagId, StreamingUnwrapper> = HashMap::new();
+        let mut offsets: HashMap<TagId, f64> = HashMap::new();
+        let mut out = TagStreams::default();
+        for obs in observations {
+            if !layout.contains(obs.tag) {
+                continue;
+            }
+            let unwrapper = unwrappers.entry(obs.tag).or_default();
+            let unwrapped = unwrapper.push(obs.phase);
+            let value = match calibration {
+                Some(cal) => {
+                    let mean = cal.mean_phase(obs.tag).expect("layout tag calibrated");
+                    // Re-centre: choose the 2π offset once (at the first
+                    // sample) so the suppressed stream starts in (−π, π]
+                    // and stays continuous afterwards.
+                    let offset = *offsets.entry(obs.tag).or_insert_with(|| {
+                        let first = unwrapped - mean;
+                        first - wrap_to_pi(first)
+                    });
+                    unwrapped - mean - offset
+                }
+                None => unwrapped,
+            };
+            out.phase.entry(obs.tag).or_default().push(obs.time, value);
+            out.rss
+                .entry(obs.tag)
+                .or_default()
+                .push(obs.time, obs.rss_dbm);
+            out.start = Some(out.start.map_or(obs.time, |s: f64| s.min(obs.time)));
+            out.end = Some(out.end.map_or(obs.time, |e: f64| e.max(obs.time)));
+        }
+        out
+    }
+
+    /// The suppressed (or raw) phase series of a tag, empty if never read.
+    pub fn phase(&self, id: TagId) -> Option<&TimeSeries> {
+        self.phase.get(&id)
+    }
+
+    /// The RSS series of a tag.
+    pub fn rss(&self, id: TagId) -> Option<&TimeSeries> {
+        self.rss.get(&id)
+    }
+
+    /// All phase series in layout order for a given layout.
+    pub fn phase_series(&self, layout: &ArrayLayout) -> Vec<TimeSeries> {
+        layout
+            .tags()
+            .iter()
+            .map(|id| self.phase.get(id).cloned().unwrap_or_default())
+            .collect()
+    }
+
+    /// Earliest observation time.
+    pub fn start(&self) -> Option<f64> {
+        self.start
+    }
+
+    /// Latest observation time.
+    pub fn end(&self) -> Option<f64> {
+        self.end
+    }
+
+    /// Number of tags with at least one read.
+    pub fn tag_count(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Total reads across all tags.
+    pub fn total_reads(&self) -> usize {
+        self.phase.values().map(TimeSeries::len).sum()
+    }
+}
+
+/// Convenience: raw wrapped phase in `[0, 2π)` for tests and experiments.
+pub fn wrap_phase(p: f64) -> f64 {
+    p.rem_euclid(TAU)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RfipadConfig;
+
+    fn layout() -> ArrayLayout {
+        ArrayLayout::new(1, 2, vec![TagId(0), TagId(1)])
+    }
+
+    fn obs(tag: TagId, time: f64, phase: f64) -> TagObservation {
+        TagObservation {
+            tag,
+            time,
+            phase: wrap_phase(phase),
+            rss_dbm: -45.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    fn calibration_with_means(m0: f64, m1: f64) -> Calibration {
+        // Build via static observations with tiny jitter around the means.
+        let mut observations = Vec::new();
+        for j in 0..30 {
+            observations.push(obs(
+                TagId(0),
+                j as f64 * 0.05,
+                m0 + 0.001 * (j as f64).sin(),
+            ));
+            observations.push(obs(
+                TagId(1),
+                j as f64 * 0.05 + 0.01,
+                m1 + 0.001 * (j as f64).cos(),
+            ));
+        }
+        Calibration::from_observations(&layout(), &observations, &RfipadConfig::default())
+            .expect("calibration")
+    }
+
+    #[test]
+    fn suppression_centres_streams_at_zero() {
+        let cal = calibration_with_means(1.0, 5.0);
+        let observations: Vec<TagObservation> = (0..20)
+            .flat_map(|j| {
+                vec![
+                    obs(TagId(0), j as f64 * 0.1, 1.0 + 0.05 * (j as f64).sin()),
+                    obs(
+                        TagId(1),
+                        j as f64 * 0.1 + 0.05,
+                        5.0 + 0.05 * (j as f64).cos(),
+                    ),
+                ]
+            })
+            .collect();
+        let streams = TagStreams::build(&layout(), Some(&cal), &observations);
+        for id in [TagId(0), TagId(1)] {
+            let series = streams.phase(id).expect("present");
+            for (_, v) in series.iter() {
+                assert!(v.abs() < 0.3, "suppressed value {v} for {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_suppression_centres_differ() {
+        let observations: Vec<TagObservation> = (0..20)
+            .flat_map(|j| {
+                vec![
+                    obs(TagId(0), j as f64 * 0.1, 1.0),
+                    obs(TagId(1), j as f64 * 0.1 + 0.05, 5.0),
+                ]
+            })
+            .collect();
+        let streams = TagStreams::build(&layout(), None, &observations);
+        let m0 = streams.phase(TagId(0)).unwrap().values()[0];
+        let m1 = streams.phase(TagId(1)).unwrap().values()[0];
+        assert!((m0 - m1).abs() > 1.0, "raw centres {m0} vs {m1}");
+    }
+
+    #[test]
+    fn wrapped_ramp_is_unwrapped() {
+        let cal = calibration_with_means(0.1, 0.1);
+        // Tag 0's true phase ramps 0.1 → 9; reported wrapped.
+        let observations: Vec<TagObservation> = (0..90)
+            .map(|j| obs(TagId(0), j as f64 * 0.05, 0.1 + j as f64 * 0.1))
+            .chain((0..30).map(|j| obs(TagId(1), 4.5 + j as f64 * 0.01, 0.1)))
+            .collect();
+        let streams = TagStreams::build(&layout(), Some(&cal), &observations);
+        let series = streams.phase(TagId(0)).expect("present");
+        // Continuous: no ±2π jumps between consecutive samples.
+        for pair in series.values().windows(2) {
+            assert!((pair[1] - pair[0]).abs() < 1.0);
+        }
+        // Total travel ≈ 8.9 rad.
+        let travel = series.values().last().unwrap() - series.values()[0];
+        assert!((travel - 8.9).abs() < 0.1, "travel {travel}");
+    }
+
+    #[test]
+    fn foreign_tags_ignored() {
+        let observations = vec![obs(TagId(0), 0.0, 1.0), obs(TagId(77), 0.1, 2.0)];
+        let streams = TagStreams::build(&layout(), None, &observations);
+        assert_eq!(streams.tag_count(), 1);
+        assert!(streams.phase(TagId(77)).is_none());
+    }
+
+    #[test]
+    fn span_and_counts() {
+        let observations = vec![
+            obs(TagId(0), 1.0, 0.5),
+            obs(TagId(1), 1.5, 0.5),
+            obs(TagId(0), 2.0, 0.5),
+        ];
+        let streams = TagStreams::build(&layout(), None, &observations);
+        assert_eq!(streams.start(), Some(1.0));
+        assert_eq!(streams.end(), Some(2.0));
+        assert_eq!(streams.total_reads(), 3);
+    }
+
+    #[test]
+    fn phase_series_in_layout_order_with_gaps() {
+        let observations = vec![obs(TagId(1), 0.0, 1.0)];
+        let streams = TagStreams::build(&layout(), None, &observations);
+        let series = streams.phase_series(&layout());
+        assert_eq!(series.len(), 2);
+        assert!(series[0].is_empty());
+        assert_eq!(series[1].len(), 1);
+    }
+
+    #[test]
+    fn rss_stream_recorded() {
+        let observations = vec![obs(TagId(0), 0.0, 1.0)];
+        let streams = TagStreams::build(&layout(), None, &observations);
+        assert_eq!(streams.rss(TagId(0)).unwrap().values(), &[-45.0]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Fixed-duration framing and windowing of multi-stream signals.
+//!
+//! The RFIPad paper (§III-C1) mitigates the uneven sampling of tag reads by
+//! cutting the per-tag phase streams into non-overlapping 100 ms *frames*,
+//! computing a multi-tag RMS per frame (Eq. 11):
+//!
+//! ```text
+//! rms(f) = Σ_{i=1..M} sqrt( Σ_{j=1..n} p_ij² / n )
+//! ```
+//!
+//! and then grouping several successive frames into a *window* (default
+//! 0.5 s = 5 frames) whose `std(rms(w))` is compared against a threshold
+//! (Eq. 12) to decide whether a stroke is in progress.
+
+use crate::series::TimeSeries;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// One fixed-duration frame aggregating all streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame start time in seconds.
+    pub start: f64,
+    /// Frame duration in seconds.
+    pub duration: f64,
+    /// Multi-stream RMS of the frame (paper Eq. 11).
+    pub rms: f64,
+    /// Total number of samples that fell into the frame, across streams.
+    pub samples: usize,
+}
+
+impl Frame {
+    /// Frame end time in seconds.
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// A sequence of equally long, non-overlapping frames.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameSeq {
+    frames: Vec<Frame>,
+}
+
+impl FrameSeq {
+    /// Cuts the given per-stream time series into frames of `frame_len`
+    /// seconds spanning `[start, end)` and computes the multi-stream RMS of
+    /// each (paper Eq. 11). Streams with no samples in a frame contribute
+    /// nothing to that frame's RMS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len <= 0` or `end < start`.
+    pub fn build(streams: &[TimeSeries], start: f64, end: f64, frame_len: f64) -> Self {
+        Self::build_with_floors(streams, None, start, end, frame_len)
+    }
+
+    /// Like [`build`](Self::build), but subtracts a per-stream noise floor
+    /// from each stream's frame RMS before summing (clamped at zero):
+    /// `rms(f) = Σ_i max(0, rms_i(f) − floor_i)`.
+    ///
+    /// With floors set to each stream's static noise level, the result is an
+    /// *excess* RMS that stays near zero in any environment and rises only
+    /// with genuine signal — making activity thresholds environment-robust.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len <= 0`, `end < start`, or `floors` is provided
+    /// with a length different from `streams`.
+    pub fn build_with_floors(
+        streams: &[TimeSeries],
+        floors: Option<&[f64]>,
+        start: f64,
+        end: f64,
+        frame_len: f64,
+    ) -> Self {
+        assert!(frame_len > 0.0, "frame length must be positive");
+        assert!(end >= start, "frame range end before start");
+        if let Some(f) = floors {
+            assert_eq!(f.len(), streams.len(), "one floor per stream");
+        }
+        let count = ((end - start) / frame_len).ceil() as usize;
+        let mut frames = Vec::with_capacity(count);
+        for k in 0..count {
+            let f_start = start + k as f64 * frame_len;
+            let f_end = f_start + frame_len;
+            let mut rms_sum = 0.0;
+            let mut samples = 0;
+            for (i, stream) in streams.iter().enumerate() {
+                let part = stream.slice_time(f_start, f_end);
+                if !part.is_empty() {
+                    let floor = floors.map(|f| f[i]).unwrap_or(0.0);
+                    rms_sum += (stats::rms(part.values()) - floor).max(0.0);
+                    samples += part.len();
+                }
+            }
+            frames.push(Frame {
+                start: f_start,
+                duration: frame_len,
+                rms: rms_sum,
+                samples,
+            });
+        }
+        Self { frames }
+    }
+
+    /// The frames in time order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether there are no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The per-frame RMS values as a plain vector.
+    pub fn rms_values(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.rms).collect()
+    }
+
+    /// Groups consecutive frames into non-overlapping windows of `size`
+    /// frames (the paper's default is 5 frames = 0.5 s). A trailing partial
+    /// window is kept if it has at least one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn windows(&self, size: usize) -> Vec<Window> {
+        assert!(size > 0, "window size must be positive");
+        self.frames
+            .chunks(size)
+            .map(Window::from_frames)
+            .collect()
+    }
+
+    /// Sliding (overlapping) windows advancing one frame at a time. Useful
+    /// for finer-grained segmentation boundaries than non-overlapping
+    /// windows provide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn sliding_windows(&self, size: usize) -> Vec<Window> {
+        assert!(size > 0, "window size must be positive");
+        if self.frames.len() < size {
+            if self.frames.is_empty() {
+                return Vec::new();
+            }
+            return vec![Window::from_frames(&self.frames)];
+        }
+        self.frames.windows(size).map(Window::from_frames).collect()
+    }
+}
+
+/// A group of successive frames treated as one unit for stroke detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start time in seconds.
+    pub start: f64,
+    /// Window end time in seconds.
+    pub end: f64,
+    /// RMS of each member frame.
+    pub frame_rms: Vec<f64>,
+}
+
+impl Window {
+    /// Builds a window from a non-empty run of frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn from_frames(frames: &[Frame]) -> Self {
+        assert!(!frames.is_empty(), "window needs at least one frame");
+        Self {
+            start: frames[0].start,
+            end: frames.last().expect("nonempty").end(),
+            frame_rms: frames.iter().map(|f| f.rms).collect(),
+        }
+    }
+
+    /// Standard deviation of the member frames' RMS — the paper's
+    /// `std(rms(w))` (left side of Eq. 12).
+    pub fn rms_std(&self) -> f64 {
+        stats::std_dev(&self.frame_rms)
+    }
+
+    /// Mean of the member frames' RMS.
+    pub fn rms_mean(&self) -> f64 {
+        stats::mean(&self.frame_rms)
+    }
+
+    /// The paper's stroke-activity test (Eq. 12): `std(rms(w)) > thre`.
+    pub fn is_active(&self, threshold: f64) -> bool {
+        self.rms_std() > threshold
+    }
+
+    /// Window midpoint time.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.start + self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_stream(value: f64, n: usize, dt: f64) -> TimeSeries {
+        (0..n).map(|i| (i as f64 * dt, value)).collect()
+    }
+
+    #[test]
+    fn framing_covers_range() {
+        let s = constant_stream(1.0, 100, 0.01); // 1 second of samples
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        assert_eq!(fs.len(), 10);
+        assert!((fs.frames()[0].start).abs() < 1e-12);
+        assert!((fs.frames()[9].end() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_signal_rms_equals_value() {
+        let s = constant_stream(2.0, 100, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        for f in fs.frames() {
+            assert!((f.rms - 2.0).abs() < 1e-9, "frame rms {}", f.rms);
+        }
+    }
+
+    #[test]
+    fn multi_stream_rms_sums_across_streams() {
+        // Eq. 11 sums per-tag RMS over tags: two constant streams of 1.0 and
+        // 3.0 give frame RMS 4.0.
+        let a = constant_stream(1.0, 50, 0.01);
+        let b = constant_stream(3.0, 50, 0.01);
+        let fs = FrameSeq::build(&[a, b], 0.0, 0.5, 0.1);
+        for f in fs.frames() {
+            assert!((f.rms - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_frame_has_zero_rms() {
+        let s = constant_stream(1.0, 10, 0.01); // only first 0.1 s populated
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        assert!(fs.frames()[0].rms > 0.0);
+        for f in &fs.frames()[1..] {
+            assert_eq!(f.rms, 0.0);
+            assert_eq!(f.samples, 0);
+        }
+    }
+
+    #[test]
+    fn windows_nonoverlapping_partition() {
+        let s = constant_stream(1.0, 100, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        let ws = fs.windows(5);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].frame_rms.len(), 5);
+        assert!((ws[0].end - ws[1].start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_partial_window_kept() {
+        let s = constant_stream(1.0, 100, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        let ws = fs.windows(3); // 10 frames -> 3+3+3+1
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[3].frame_rms.len(), 1);
+    }
+
+    #[test]
+    fn constant_window_is_inactive() {
+        let s = constant_stream(5.0, 100, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        for w in fs.windows(5) {
+            assert!(w.rms_std() < 1e-9);
+            assert!(!w.is_active(0.01));
+        }
+    }
+
+    #[test]
+    fn varying_window_is_active() {
+        // Big RMS swing between frames -> active window.
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            let t = i as f64 * 0.01;
+            let v = if ((t / 0.1) as usize).is_multiple_of(2) {
+                0.1
+            } else {
+                5.0
+            };
+            s.push(t, v);
+        }
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        let ws = fs.windows(5);
+        assert!(ws.iter().any(|w| w.is_active(0.5)));
+    }
+
+    #[test]
+    fn sliding_windows_advance_one_frame() {
+        let s = constant_stream(1.0, 100, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 1.0, 0.1);
+        let ws = fs.sliding_windows(5);
+        assert_eq!(ws.len(), 6); // 10 - 5 + 1
+        assert!((ws[1].start - fs.frames()[1].start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_windows_short_input() {
+        let s = constant_stream(1.0, 10, 0.01);
+        let fs = FrameSeq::build(&[s], 0.0, 0.1, 0.1);
+        let ws = fs.sliding_windows(5);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].frame_rms.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame length must be positive")]
+    fn zero_frame_len_panics() {
+        FrameSeq::build(&[], 0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Summary statistics, online accumulation, and empirical CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+///
+/// ```
+/// assert_eq!(sigproc::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance of a slice. Returns 0.0 for fewer than two samples.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation of a slice.
+///
+/// ```
+/// let sd = sigproc::stats::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((sd - 2.0).abs() < 1e-12);
+/// ```
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Root mean square of a slice. Returns 0.0 for an empty slice.
+///
+/// ```
+/// assert!((sigproc::stats::rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+/// ```
+pub fn rms(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    (data.iter().map(|&x| x * x).sum::<f64>() / data.len() as f64).sqrt()
+}
+
+/// Median of a slice (average of the two central elements for even length).
+/// Returns 0.0 for an empty slice.
+pub fn median(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the input contains NaN.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Minimum of a slice, ignoring NaN. Returns `f64::INFINITY` for empty input.
+pub fn min(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice, ignoring NaN. Returns `f64::NEG_INFINITY` for empty input.
+pub fn max(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Numerically stable online mean/variance accumulator (Welford's method).
+///
+/// # Example
+///
+/// ```
+/// use sigproc::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than two samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample (Bessel-corrected) variance (0.0 with fewer than two samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Empirical cumulative distribution function over a fixed sample set.
+///
+/// # Example
+///
+/// ```
+/// use sigproc::stats::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(2.5), 0.5);
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|v| !v.is_nan()), "NaN in ECDF input");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Self { sorted: samples }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample value at which the CDF reaches `q` (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]` or the ECDF is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF at evenly spaced points, returning `(x, F(x))` pairs
+    /// suitable for plotting (as in the paper's Fig. 21).
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("nonempty");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((variance(&data) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&data) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let d = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&d, 0.0), 10.0);
+        assert_eq!(percentile(&d, 100.0), 30.0);
+        assert_eq!(percentile(&d, 50.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn rms_constant_signal() {
+        assert!((rms(&[2.0; 16]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 31) % 97) as f64 * 0.37).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert!((w.mean() - mean(&data)).abs() < 1e-9);
+        assert!((w.population_variance() - variance(&data)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..50).map(|i| 100.0 - i as f64).collect();
+        let mut wa = Welford::new();
+        a.iter().for_each(|&x| wa.push(x));
+        let mut wb = Welford::new();
+        b.iter().for_each(|&x| wb.push(x));
+        let mut seq = Welford::new();
+        a.iter().chain(&b).for_each(|&x| seq.push(x));
+        wa.merge(&wb);
+        assert_eq!(wa.count(), seq.count());
+        assert!((wa.mean() - seq.mean()).abs() < 1e-9);
+        assert!((wa.population_variance() - seq.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let cdf = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        assert!((cdf.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.eval(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile() {
+        let cdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.quantile(0.2), 1.0);
+        assert_eq!(cdf.quantile(0.9), 5.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let cdf = Ecdf::new((0..50).map(|i| (i as f64 * 13.7) % 11.0).collect());
+        let curve = cdf.curve(40);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert_eq!(curve.last().map(|p| p.1), Some(1.0));
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let d = [3.0, f64::NAN, -1.0, 7.0];
+        assert_eq!(min(&d), -1.0);
+        assert_eq!(max(&d), 7.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the DSP invariants.
+
+use proptest::prelude::*;
+use sigproc::filter::moving_average;
+use sigproc::otsu::otsu_threshold;
+use sigproc::series::TimeSeries;
+use sigproc::stats::{self, Welford};
+use sigproc::unwrap::{unwrap_phase, wrap_phase, StreamingUnwrapper};
+
+proptest! {
+    /// Any true phase sequence whose steps stay below π survives the
+    /// wrap→unwrap round trip exactly (up to the 2π offset of the start).
+    #[test]
+    fn unwrap_recovers_bounded_step_sequences(
+        start in -20.0f64..20.0,
+        steps in prop::collection::vec(-3.0f64..3.0, 1..200),
+    ) {
+        let mut truth = vec![start];
+        for s in &steps {
+            let last = *truth.last().unwrap();
+            truth.push(last + s);
+        }
+        let wrapped: Vec<f64> = truth.iter().map(|&p| wrap_phase(p)).collect();
+        let unwrapped = unwrap_phase(&wrapped);
+        let offset = unwrapped[0] - truth[0];
+        // Offset must be a multiple of 2π…
+        let cycles = offset / std::f64::consts::TAU;
+        prop_assert!((cycles - cycles.round()).abs() < 1e-6);
+        // …and the trend must match everywhere.
+        for (u, t) in unwrapped.iter().zip(&truth) {
+            prop_assert!((u - t - offset).abs() < 1e-6);
+        }
+    }
+
+    /// Wrapping always lands in [0, 2π) and is idempotent.
+    #[test]
+    fn wrap_phase_range_and_idempotence(p in -1e4f64..1e4) {
+        let w = wrap_phase(p);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w));
+        prop_assert!((wrap_phase(w) - w).abs() < 1e-9);
+    }
+
+    /// Streaming unwrapping equals batch unwrapping on any input.
+    #[test]
+    fn streaming_equals_batch(values in prop::collection::vec(0.0f64..std::f64::consts::TAU, 0..100)) {
+        let batch = unwrap_phase(&values);
+        let mut s = StreamingUnwrapper::new();
+        let streamed: Vec<f64> = values.iter().map(|&v| s.push(v)).collect();
+        prop_assert_eq!(batch, streamed);
+    }
+
+    /// Otsu's threshold always separates two well-separated clusters.
+    #[test]
+    fn otsu_separates_clusters(
+        lo_count in 5usize..60,
+        hi_count in 5usize..60,
+        gap in 2.0f64..50.0,
+        noise in 0.0f64..0.4,
+    ) {
+        let mut data = Vec::new();
+        for i in 0..lo_count {
+            data.push((i as f64 * 0.37).sin() * noise);
+        }
+        for i in 0..hi_count {
+            data.push(gap + (i as f64 * 0.53).cos() * noise);
+        }
+        let t = otsu_threshold(&data).expect("bimodal data has a threshold");
+        prop_assert!(t > noise && t < gap - noise, "threshold {} outside gap", t);
+    }
+
+    /// Welford's online accumulator matches batch statistics.
+    #[test]
+    fn welford_matches_batch(data in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        prop_assert!((w.mean() - stats::mean(&data)).abs() < 1e-6);
+        prop_assert!((w.population_variance() - stats::variance(&data)).abs() < 1e-3);
+    }
+
+    /// A moving average never exceeds the data's range.
+    #[test]
+    fn moving_average_bounded(
+        data in prop::collection::vec(-100.0f64..100.0, 1..100),
+        half in 0usize..8,
+    ) {
+        let lo = stats::min(&data);
+        let hi = stats::max(&data);
+        for v in moving_average(&data, half) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// Resampling a series stays inside the original time span and value
+    /// envelope (linear interpolation cannot overshoot).
+    #[test]
+    fn resample_stays_in_envelope(
+        n in 2usize..50,
+        dt in 0.01f64..0.5,
+    ) {
+        let ts: TimeSeries = (0..n)
+            .map(|i| (i as f64 * 0.13, ((i * 31) % 17) as f64))
+            .collect();
+        let lo = stats::min(ts.values());
+        let hi = stats::max(ts.values());
+        let r = ts.resample(dt);
+        for (t, v) in r.iter() {
+            prop_assert!(t >= ts.start_time().unwrap() - 1e-9);
+            prop_assert!(t <= ts.end_time().unwrap() + 1e-9);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// slice_time returns exactly the samples in [start, end).
+    #[test]
+    fn slice_time_is_exact(
+        n in 1usize..80,
+        a in 0.0f64..10.0,
+        len in 0.0f64..10.0,
+    ) {
+        let ts: TimeSeries = (0..n).map(|i| (i as f64 * 0.1, i as f64)).collect();
+        let s = ts.slice_time(a, a + len);
+        for (t, _) in s.iter() {
+            prop_assert!(t >= a && t < a + len);
+        }
+        let expected = ts.iter().filter(|(t, _)| *t >= a && *t < a + len).count();
+        prop_assert_eq!(s.len(), expected);
+    }
+
+    /// Percentiles are monotone in the requested quantile.
+    #[test]
+    fn percentiles_monotone(data in prop::collection::vec(-50.0f64..50.0, 1..100)) {
+        let p25 = stats::percentile(&data, 25.0);
+        let p50 = stats::percentile(&data, 50.0);
+        let p75 = stats::percentile(&data, 75.0);
+        prop_assert!(p25 <= p50 + 1e-12);
+        prop_assert!(p50 <= p75 + 1e-12);
+    }
+}

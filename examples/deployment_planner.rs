@@ -1,0 +1,119 @@
+//! Deployment planner: the §IV engineering guidance as a tool.
+//!
+//! Given a desired pad size, this example walks the paper's deployment
+//! checklist: which commercial tag design to use (RCS → inter-tag
+//! interference), how far apart to place tags (near/far-field boundaries),
+//! how far the reader antenna must sit for 3 dB beam coverage, and whether
+//! every tag closes its forward link at the chosen TX power.
+//!
+//! Run with: `cargo run --release --example deployment_planner`
+
+use rf_sim::antenna::ReaderAntenna;
+use rf_sim::coupling;
+use rf_sim::environment::Environment;
+use rf_sim::geometry::Vec3;
+use rf_sim::scene::{Scene, SceneConfig};
+use rf_sim::tags::{Facing, Tag, TagArray, TagId, TagModel};
+use rf_sim::units::{Dbi, Dbm, Meters, CARRIER_FREQUENCY};
+
+fn main() {
+    let rows = 5;
+    let cols = 5;
+    let spacing = 0.06;
+    let tx_power = Dbm(30.0);
+    let lambda = CARRIER_FREQUENCY.wavelength();
+
+    println!("== RFIPad deployment planner ==");
+    println!(
+        "pad: {rows}×{cols} tags at {:.0} cm pitch\n",
+        spacing * 100.0
+    );
+
+    // 1. Tag model choice: smallest RCS shadows neighbours least.
+    println!("1) tag model (lower same-facing shadow at the chosen pitch is better):");
+    let mut best: Option<(TagModel, f64)> = None;
+    for model in TagModel::all() {
+        let a = Tag::new(TagId(0), Vec3::ZERO, Facing::Front, model, 0.0);
+        let b = Tag::new(
+            TagId(1),
+            Vec3::new(spacing, 0.0, 0.0),
+            Facing::Front,
+            model,
+            0.0,
+        );
+        let shadow = coupling::pair_shadow_db(&a, &b, lambda).value();
+        println!("   {model:<28} neighbour shadow {shadow:>5.2} dB");
+        if best.map(|(_, s)| shadow < s).unwrap_or(true) {
+            best = Some((model, shadow));
+        }
+    }
+    let (model, _) = best.expect("models evaluated");
+    println!("   -> choose {model}\n");
+
+    // 2. Spacing sanity: the paper recommends the transition region between
+    //    near field (λ/2π) and far field (2λ/2π).
+    let nf = coupling::near_field_boundary(lambda).value();
+    let ff = coupling::far_field_boundary(lambda).value();
+    println!(
+        "2) spacing: near field ends at {:.1} cm, far field begins at {:.1} cm",
+        nf * 100.0,
+        ff * 100.0
+    );
+    println!(
+        "   chosen pitch {:.0} cm sits in the transition region: {}\n",
+        spacing * 100.0,
+        if spacing > nf && spacing < ff * 1.3 {
+            "OK"
+        } else {
+            "RECONSIDER"
+        }
+    );
+
+    // 3. Reader distance for 3 dB beam coverage (paper Eq. 13-14).
+    let array = TagArray::grid(rows, cols, spacing, Vec3::ZERO, model, |_| 0.0);
+    let center = array.center();
+    let probe_antenna = ReaderAntenna::new(
+        Vec3::new(center.x, center.y, -1.0),
+        Vec3::new(0.0, 0.0, 1.0),
+        Dbi(8.0),
+    );
+    let min_d = probe_antenna.min_coverage_distance(Meters(array.plate_len()));
+    println!(
+        "3) 8 dBi antenna beam angle {:.0}°; minimum distance for 3 dB coverage of the\n   {:.0} cm plate: {:.1} cm (paper computes ≈31.7 cm)\n",
+        probe_antenna.beam_angle().to_degrees(),
+        array.plate_len() * 100.0,
+        min_d.value() * 100.0
+    );
+
+    // 4. Forward-link check at the recommended distance.
+    let distance = min_d.value().max(0.32);
+    let antenna = ReaderAntenna::new(
+        Vec3::new(center.x, center.y, -distance),
+        Vec3::new(0.0, 0.0, 1.0),
+        Dbi(8.0),
+    );
+    let scene = Scene::new(
+        antenna,
+        array.tags().to_vec(),
+        Environment::office_location(1),
+        SceneConfig {
+            tx_power,
+            ..SceneConfig::default()
+        },
+    );
+    let mut worst: Option<(TagId, f64)> = None;
+    for tag in scene.tags() {
+        let margin = scene.forward_power_at(tag, &[]).value() - tag.model.sensitivity().value();
+        if worst.map(|(_, m)| margin < m).unwrap_or(true) {
+            worst = Some((tag.id, margin));
+        }
+    }
+    let (worst_tag, margin) = worst.expect("tags present");
+    println!(
+        "4) forward link at {:.0} cm, {:.1} dBm TX: worst tag {worst_tag} has {margin:+.1} dB margin — {}",
+        distance * 100.0,
+        tx_power.value(),
+        if margin > 3.0 { "all tags readable with headroom" } else { "increase TX power or move closer" }
+    );
+    assert!(margin > 0.0, "deployment must close the forward link");
+}

@@ -1,0 +1,82 @@
+//! Live kiosk: the online pipeline on its own thread, fed over crossbeam
+//! channels at (accelerated) real-time pacing — the deployment shape of an
+//! actual installation, where LLRP reports stream in from the network and
+//! UI events stream out.
+//!
+//! Run with: `cargo run --release --example live_kiosk`
+
+use crossbeam::channel;
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use hand_kinematics::writer::Writer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfipad::pipeline::{spawn, PipelineEvent};
+use rfipad::RfipadConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::volunteer(7);
+    let writer = Writer::new(bench.deployment.pad, user.clone());
+    let mut rng = StdRng::seed_from_u64(314);
+
+    // Pre-record the reader stream for a user writing "HI".
+    let sessions = writer.write_word("HI", 1.0, 1.8, &mut rng);
+    let mut observations = Vec::new();
+    for session in &sessions {
+        observations.extend(bench.record_session(session, &user, &mut rng));
+    }
+    observations.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
+    println!(
+        "streaming {} tag reads through the threaded pipeline…",
+        observations.len()
+    );
+
+    // Spin up the engine on its own thread.
+    let pipeline = rfipad::OnlinePipeline::new(bench.recognizer.clone(), 1.8)?;
+    let (obs_tx, obs_rx) = channel::unbounded();
+    let (handle, events) = spawn(pipeline, obs_rx);
+
+    // Feed the stream (drop the channel to signal end-of-stream), then
+    // drain events as the kiosk UI would.
+    let feeder = std::thread::spawn(move || {
+        for obs in observations {
+            if obs_tx.send(obs).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut word = String::new();
+    for event in events.iter() {
+        match event {
+            PipelineEvent::StrokeDetected {
+                stroke,
+                response_time_s,
+                ..
+            } => println!(
+                "  [t={:6.2}s] stroke {:6} detected ({:.1} ms compute)",
+                stroke.span.end,
+                stroke.stroke.to_string(),
+                response_time_s * 1000.0
+            ),
+            PipelineEvent::LetterRecognized {
+                letter, strokes, ..
+            } => {
+                let l = letter.unwrap_or('?');
+                println!("  [letter ] {l}  ({} strokes composed)", strokes.len());
+                word.push(l);
+            }
+        }
+    }
+    feeder.join().expect("feeder finished");
+    handle.join().expect("pipeline finished");
+
+    println!("\nkiosk read: \"{word}\"");
+    assert_eq!(word, "HI");
+    Ok(())
+}

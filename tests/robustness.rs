@@ -1,0 +1,157 @@
+//! Failure injection: the recognizer facing degraded deployments —
+//! unreadable tags, foreign tag traffic, low power, partial streams.
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::{Stroke, StrokeShape};
+use hand_kinematics::user::UserProfile;
+use rf_sim::scene::TagObservation;
+use rf_sim::tags::TagId;
+use rfipad::RfipadConfig;
+
+fn bench() -> Bench {
+    Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    )
+}
+
+#[test]
+fn foreign_tag_traffic_is_ignored() {
+    // A public-area reader hears tags that are not part of the pad; their
+    // reports must not disturb recognition.
+    let bench = bench();
+    let user = UserProfile::average();
+    let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::Slash), &user, 11);
+
+    let mut polluted = trial.observations.clone();
+    // Interleave reports from an unrelated tag population.
+    let extra: Vec<TagObservation> = trial
+        .observations
+        .iter()
+        .step_by(3)
+        .map(|o| TagObservation {
+            tag: TagId(900 + (o.time * 1000.0) as u64 % 7),
+            time: o.time + 1e-4,
+            phase: (o.phase * 1.7).rem_euclid(std::f64::consts::TAU),
+            rss_dbm: -55.0,
+            doppler_hz: 0.0,
+        })
+        .collect();
+    polluted.extend(extra);
+    polluted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
+
+    let clean = bench.recognizer.recognize_session(&trial.observations);
+    let noisy = bench.recognizer.recognize_session(&polluted);
+    assert_eq!(clean.strokes.len(), noisy.strokes.len());
+    assert_eq!(
+        clean.strokes[0].stroke, noisy.strokes[0].stroke,
+        "foreign tags changed the verdict"
+    );
+}
+
+#[test]
+fn dead_tag_degrades_gracefully() {
+    // Remove one tag's reports entirely (a dead or shadowed tag): the
+    // stroke should still be detected, usually with the right shape.
+    let bench = bench();
+    let user = UserProfile::average();
+    let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::HLine), &user, 12);
+    let without_tag: Vec<TagObservation> = trial
+        .observations
+        .iter()
+        .filter(|o| o.tag != TagId(12))
+        .copied()
+        .collect();
+    let result = bench.recognizer.recognize_session(&without_tag);
+    assert_eq!(result.strokes.len(), 1, "stroke still detected");
+}
+
+#[test]
+fn truncated_stream_detects_nothing_or_partial() {
+    // Cut the stream before the stroke begins: nothing must be detected
+    // (no hallucinated motion).
+    let bench = bench();
+    let user = UserProfile::average();
+    let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, 13);
+    let start = trial.session.strokes[0].start;
+    let before: Vec<TagObservation> = trial
+        .observations
+        .iter()
+        .filter(|o| o.time < start - 0.2)
+        .copied()
+        .collect();
+    let result = bench.recognizer.recognize_session(&before);
+    assert!(
+        result.strokes.is_empty(),
+        "hallucinated {:?}",
+        result.strokes
+    );
+}
+
+#[test]
+fn low_power_deployment_still_calibrates() {
+    // 15 dBm: the paper's lowest setting. Calibration must succeed and at
+    // least some strokes recognize, even if accuracy drops.
+    let bench = Bench::calibrate(
+        Deployment::build(
+            DeploymentSpec {
+                tx_power_dbm: 15.0,
+                ..DeploymentSpec::default()
+            },
+            42,
+        ),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+    let batch = bench.run_motion_batch(&user, 2, 44);
+    assert!(batch.trials == 26);
+    assert!(
+        batch.accuracy() > 0.3,
+        "even at 15 dBm some motions recognize: {:.2}",
+        batch.accuracy()
+    );
+}
+
+#[test]
+fn empty_observation_stream_is_handled() {
+    let bench = bench();
+    let result = bench.recognizer.recognize_session(&[]);
+    assert!(result.strokes.is_empty());
+    assert_eq!(result.letter, None);
+}
+
+#[test]
+fn duplicate_timestamps_do_not_panic() {
+    let bench = bench();
+    let user = UserProfile::average();
+    let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::Backslash), &user, 15);
+    let mut duplicated = trial.observations.clone();
+    duplicated.extend(trial.observations.iter().copied());
+    duplicated.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
+    let result = bench.recognizer.recognize_session(&duplicated);
+    assert!(!result.strokes.is_empty());
+}
+
+#[test]
+fn half_the_reads_still_detect_strokes() {
+    // Simulated undersampling: drop every other read (a faster hand or a
+    // busier MAC). Detection should survive even if classification softens.
+    let bench = bench();
+    let user = UserProfile::average();
+    let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, 16);
+    let halved: Vec<TagObservation> = trial
+        .observations
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, o)| *o)
+        .collect();
+    let result = bench.recognizer.recognize_session(&halved);
+    assert_eq!(
+        result.strokes.len(),
+        1,
+        "stroke lost under 2× undersampling"
+    );
+}

@@ -1,0 +1,171 @@
+//! Fast regression guards on the *shapes* EXPERIMENTS.md records: the key
+//! orderings and knees of every headline result, at reduced repetition
+//! counts so the whole file runs in seconds. If one of these fails, a
+//! reproduction claim has silently regressed.
+
+use experiments::{AntennaPlacement, Bench, Deployment, DeploymentSpec};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn bench_for(spec: DeploymentSpec) -> Bench {
+    Bench::calibrate(Deployment::build(spec, 42), RfipadConfig::default(), 1)
+}
+
+#[test]
+fn table1_nlos_beats_los() {
+    let user = UserProfile::average();
+    let nlos = bench_for(DeploymentSpec::default()).run_motion_batch(&user, 4, 1000);
+    let los = bench_for(DeploymentSpec {
+        placement: AntennaPlacement::Los,
+        ..DeploymentSpec::default()
+    })
+    .run_motion_batch(&user, 4, 1000);
+    assert!(
+        nlos.accuracy() > los.accuracy() + 0.1,
+        "NLOS {:.3} must clearly beat LOS {:.3}",
+        nlos.accuracy(),
+        los.accuracy()
+    );
+    assert!(
+        nlos.accuracy() > 0.9,
+        "NLOS ballpark: {:.3}",
+        nlos.accuracy()
+    );
+}
+
+#[test]
+fn fig16_suppression_gain_grows_with_multipath() {
+    let user = UserProfile::average();
+    let gain_at = |location: usize| {
+        let spec = DeploymentSpec {
+            location,
+            ..DeploymentSpec::default()
+        };
+        let with = Bench::calibrate(
+            Deployment::build(spec.clone(), 42),
+            RfipadConfig::default(),
+            1,
+        )
+        .run_motion_batch(&user, 4, 3000);
+        let without = Bench::calibrate(
+            Deployment::build(spec, 42),
+            RfipadConfig::default().without_suppression(),
+            1,
+        )
+        .run_motion_batch(&user, 4, 3000);
+        with.accuracy() - without.accuracy()
+    };
+    let g1 = gain_at(1);
+    let g3 = gain_at(3);
+    assert!(g1 > -0.05, "suppression must not hurt location 1: {g1:.3}");
+    assert!(
+        g3 > g1 - 0.02,
+        "gain should grow with multipath: loc1 {g1:.3} vs loc3 {g3:.3}"
+    );
+}
+
+#[test]
+fn fig17_power_knee_at_the_bottom() {
+    let user = UserProfile::average();
+    let acc_at = |power: f64| {
+        bench_for(DeploymentSpec {
+            tx_power_dbm: power,
+            ..DeploymentSpec::default()
+        })
+        .run_motion_batch(&user, 3, 1700)
+        .accuracy()
+    };
+    let low = acc_at(15.0);
+    let high = acc_at(32.5);
+    assert!(
+        high > low + 0.15,
+        "accuracy must improve with power: 15 dBm {low:.3} vs 32.5 dBm {high:.3}"
+    );
+    assert!(high > 0.9, "full power stays strong: {high:.3}");
+}
+
+#[test]
+fn fig19_error_grows_with_distance() {
+    let user = UserProfile::average();
+    let acc_at = |d: f64| {
+        bench_for(DeploymentSpec {
+            distance_m: d,
+            ..DeploymentSpec::default()
+        })
+        .run_motion_batch(&user, 3, 1900)
+        .accuracy()
+    };
+    let near = acc_at(0.2);
+    let far = acc_at(0.8);
+    assert!(
+        near > far + 0.05,
+        "accuracy must drop with distance: 20 cm {near:.3} vs 80 cm {far:.3}"
+    );
+}
+
+#[test]
+fn fig20_fast_movers_dip() {
+    let bench = bench_for(DeploymentSpec::default());
+    let steady = bench.run_motion_batch(&UserProfile::volunteer(2), 4, 2000);
+    let fast = bench.run_motion_batch(&UserProfile::volunteer(6), 4, 2000);
+    assert!(
+        steady.accuracy() > fast.accuracy(),
+        "fast mover must dip: steady {:.3} vs fast {:.3}",
+        steady.accuracy(),
+        fast.accuracy()
+    );
+    assert!(
+        fast.accuracy() > 0.6,
+        "but stays usable: {:.3}",
+        fast.accuracy()
+    );
+}
+
+#[test]
+fn fig23_letter_accuracy_in_paper_ballpark() {
+    let bench = bench_for(DeploymentSpec::default());
+    let user = UserProfile::average();
+    let mut ok = 0usize;
+    let mut n = 0usize;
+    for (i, letter) in ['C', 'T', 'H', 'E', 'O', 'L', 'N', 'Z']
+        .into_iter()
+        .enumerate()
+    {
+        for rep in 0..3u64 {
+            let trial = bench.run_letter_trial(letter, &user, 2300 + rep * 101 + i as u64 * 7);
+            n += 1;
+            if trial.correct() {
+                ok += 1;
+            }
+        }
+    }
+    let acc = ok as f64 / n as f64;
+    assert!(acc >= 0.85, "letter accuracy ballpark: {acc:.3}");
+}
+
+#[test]
+fn hopping_destroys_phase_sensing() {
+    use rf_sim::scene::{HoppingPlan, Scene, SceneConfig};
+    let user = UserProfile::average();
+    let base = Deployment::build(DeploymentSpec::default(), 42);
+    let scene = Scene::new(
+        *base.scene.antenna(),
+        base.scene.tags().to_vec(),
+        base.scene.environment().clone(),
+        SceneConfig {
+            hopping: Some(HoppingPlan::fcc()),
+            ..base.scene.config().clone()
+        },
+    );
+    let mut deployment = base;
+    deployment.scene = scene;
+    let hopping =
+        Bench::calibrate(deployment, RfipadConfig::default(), 1).run_motion_batch(&user, 2, 7000);
+    let fixed = bench_for(DeploymentSpec::default()).run_motion_batch(&user, 2, 7000);
+    assert!(
+        fixed.accuracy() > hopping.accuracy() + 0.4,
+        "hopping must be catastrophic: fixed {:.3} vs hopping {:.3}",
+        fixed.accuracy(),
+        hopping.accuracy()
+    );
+}

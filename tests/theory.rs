@@ -1,0 +1,164 @@
+//! Validation of the paper's theoretical claims (§III-A1, §IV-B) against
+//! the physics substrate — the model-level sanity the paper's equations
+//! rest on.
+
+use rf_sim::antenna::ReaderAntenna;
+use rf_sim::environment::Environment;
+use rf_sim::geometry::Vec3;
+use rf_sim::scene::{Scene, SceneConfig};
+use rf_sim::tags::{Facing, Tag, TagArray, TagId, TagModel};
+use rf_sim::targets::StaticTarget;
+use rf_sim::units::{Dbi, CARRIER_FREQUENCY};
+
+fn free_space_scene() -> Scene {
+    let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
+    let c = array.center();
+    let antenna = ReaderAntenna::new(
+        Vec3::new(c.x, c.y, -0.32),
+        Vec3::new(0.0, 0.0, 1.0),
+        Dbi(8.0),
+    );
+    Scene::new(
+        antenna,
+        array.tags().to_vec(),
+        Environment::free_space(),
+        SceneConfig::default(),
+    )
+}
+
+/// Accumulated phase travel of one tag while the hand sweeps over a lateral
+/// range (the Σ|Δθ| of the paper's Eq. 5).
+fn accumulated_phase(scene: &Scene, id: TagId, hand_xs: &[f64]) -> f64 {
+    let tag = scene.tag(id).expect("tag exists");
+    let mut total = 0.0;
+    let mut prev: Option<f64> = None;
+    for &x in hand_xs {
+        let hand = StaticTarget::new(Vec3::new(x, tag.position.y, 0.03), 0.02);
+        let phase = -scene.response(tag, 0.0, &[&hand]).arg();
+        if let Some(p) = prev {
+            let mut d = (phase - p).rem_euclid(std::f64::consts::TAU);
+            if d > std::f64::consts::PI {
+                d -= std::f64::consts::TAU;
+            }
+            total += d.abs();
+        }
+        prev = Some(phase);
+    }
+    total
+}
+
+#[test]
+fn eq5_crossed_tag_accumulates_most_phase() {
+    // The paper's central hypothesis: the tag the hand passes over
+    // accumulates more phase difference than its neighbours.
+    let scene = free_space_scene();
+    let xs: Vec<f64> = (0..=80).map(|i| 0.12 - 0.1 + i as f64 * 0.0025).collect();
+    // The sweep is centred on column 2 (x = 0.12).
+    let crossed = accumulated_phase(&scene, TagId(12), &xs);
+    let neighbour = accumulated_phase(&scene, TagId(13), &xs); // one column right
+    let far = accumulated_phase(&scene, TagId(14), &xs); // two columns right
+    assert!(
+        crossed > neighbour && neighbour > far,
+        "monotonic decay violated: {crossed:.2} / {neighbour:.2} / {far:.2}"
+    );
+}
+
+#[test]
+fn hand_above_five_cm_loses_distinctness() {
+    // §VI: the prototype needs the hand within ≈5 cm of the plate.
+    let scene = free_space_scene();
+    let tag = scene.tag(TagId(12)).expect("exists");
+    let swing_at = |z: f64| {
+        let near = StaticTarget::new(tag.position + Vec3::new(0.0, 0.0, z), 0.02);
+        let with = -scene.response(tag, 0.0, &[&near]).arg();
+        let without = -scene.response(tag, 0.0, &[]).arg();
+        let mut d = (with - without).rem_euclid(std::f64::consts::TAU);
+        if d > std::f64::consts::PI {
+            d -= std::f64::consts::TAU;
+        }
+        d.abs()
+    };
+    let close = swing_at(0.03);
+    let far = swing_at(0.15);
+    assert!(
+        close > 4.0 * far,
+        "influence should collapse beyond 5 cm: {close:.3} vs {far:.3}"
+    );
+}
+
+#[test]
+fn beam_and_coverage_match_paper_numbers() {
+    // Eq. 13-14: 8 dBi → beam ≈ 72–81°; coverage distance tens of cm.
+    let antenna = ReaderAntenna::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), Dbi(8.0));
+    let beam = antenna.beam_angle().to_degrees();
+    assert!((60.0..90.0).contains(&beam), "beam {beam}°");
+    let d = antenna
+        .min_coverage_distance(rf_sim::units::Meters(0.46))
+        .value();
+    assert!((0.2..0.45).contains(&d), "coverage distance {d} m");
+}
+
+#[test]
+fn near_far_field_boundaries() {
+    let lambda = CARRIER_FREQUENCY.wavelength();
+    let nf = rf_sim::coupling::near_field_boundary(lambda).value();
+    let ff = rf_sim::coupling::far_field_boundary(lambda).value();
+    assert!((0.045..0.06).contains(&nf), "λ/2π = {nf}");
+    assert!((ff - 2.0 * nf).abs() < 1e-9);
+}
+
+#[test]
+fn rcs_ordering_drives_array_shadow_ordering() {
+    // Fig. 12's conclusion: shadow strength ordering follows RCS ordering.
+    let antenna_pos = Vec3::new(0.0, 0.0, 0.5);
+    let victim = Vec3::new(0.0, 0.0, -0.02);
+    let shadow_for = |model: TagModel| {
+        let tags: Vec<Tag> = (0..15)
+            .map(|i| {
+                Tag::new(
+                    TagId(i),
+                    Vec3::new(
+                        ((i % 3) as f64 - 1.0) * 0.06,
+                        ((i / 3) as f64 - 2.0) * 0.06,
+                        0.0,
+                    ),
+                    Facing::Front,
+                    model,
+                    0.0,
+                )
+            })
+            .collect();
+        rf_sim::coupling::array_shadow_db(&tags, victim, Facing::Front, antenna_pos).value()
+    };
+    let b = shadow_for(TagModel::TypeB);
+    let c = shadow_for(TagModel::TypeC);
+    let a = shadow_for(TagModel::TypeA);
+    let d = shadow_for(TagModel::TypeD);
+    assert!(d > a && a > c && c > b, "shadow ordering {d} {a} {c} {b}");
+    assert!(d > 12.0 && b < 4.0, "paper anchors: D≈20 dB, B≈2 dB");
+}
+
+#[test]
+fn alternating_facings_cut_intra_array_coupling() {
+    // The deployment guideline: checkerboard facings keep neighbours from
+    // shadowing each other.
+    let lambda = CARRIER_FREQUENCY.wavelength();
+    let victim = Tag::new(TagId(0), Vec3::ZERO, Facing::Front, TagModel::TypeB, 0.0);
+    let same = Tag::new(
+        TagId(1),
+        Vec3::new(0.06, 0.0, 0.0),
+        Facing::Front,
+        TagModel::TypeB,
+        0.0,
+    );
+    let opposite = Tag::new(
+        TagId(1),
+        Vec3::new(0.06, 0.0, 0.0),
+        Facing::Back,
+        TagModel::TypeB,
+        0.0,
+    );
+    let s_same = rf_sim::coupling::pair_shadow_db(&same, &victim, lambda).value();
+    let s_opp = rf_sim::coupling::pair_shadow_db(&opposite, &victim, lambda).value();
+    assert!(s_opp < s_same / 5.0, "{s_same} vs {s_opp}");
+}
