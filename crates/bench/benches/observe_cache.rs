@@ -1,0 +1,87 @@
+//! Static-channel cache benchmarks: `Scene::observe` with the per-tag
+//! cache versus the from-scratch path (`observe_uncached`), and the
+//! end-to-end stroke-trial throughput the cache feeds. The cached/uncached
+//! ratio is the Layer-1 speedup of the performance overhaul; the trial
+//! benchmarks put it in wall-clock terms per figure trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::{Stroke, StrokeShape};
+use hand_kinematics::user::UserProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::targets::StaticTarget;
+use rf_sim::Vec3;
+use rfipad::RfipadConfig;
+use std::hint::black_box;
+
+fn calibrated() -> Bench {
+    Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    )
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let bench = calibrated();
+    let scene = &bench.deployment.scene;
+    let hand = StaticTarget::new(Vec3::new(-0.08, -0.11, 0.04), 0.02);
+    let id = bench.deployment.layout.tags()[6];
+
+    let mut group = c.benchmark_group("scene_observe");
+    group.bench_function("cached", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1e-4;
+            scene.observe(black_box(id), black_box(t), &[&hand], &mut rng)
+        })
+    });
+    group.bench_function("uncached", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1e-4;
+            scene.observe_uncached(black_box(id), black_box(t), &[&hand], &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_stroke_trial(c: &mut Criterion) {
+    let bench = calibrated();
+    let user = UserProfile::average();
+    c.bench_function("stroke_trial/end_to_end", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, black_box(seed))
+        })
+    });
+}
+
+fn bench_motion_batch(c: &mut Criterion) {
+    let bench = calibrated();
+    let user = UserProfile::average();
+    let jobs: Vec<(Stroke, u64)> = Stroke::all_thirteen()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, 400 + i as u64))
+        .collect();
+    let mut group = c.benchmark_group("stroke_trials_13");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|&(s, seed)| bench.run_stroke_trial(s, &user, seed))
+                .count()
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| bench.run_stroke_trials(black_box(&jobs), &user).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_stroke_trial, bench_motion_batch);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Perf-trajectory probe: times the static-channel cache and the parallel
+//! trial fan-out, then writes machine-readable results to
+//! `BENCH_pipeline.json` so future PRs can compare against this one.
+//!
+//! Measures three levels:
+//!   1. `Scene::observe` cached vs. from-scratch (`observe_uncached`) — the
+//!      Layer-1 win; the uncached path is the seed's per-read cost.
+//!   2. A 13-stroke trial batch serial vs. parallel — the Layer-2 win
+//!      (thread count pinned via `RAYON_NUM_THREADS`).
+//!   3. Optionally (`--run-all`), the full `run_all quick` roster with
+//!      `--jobs 1` vs. `--jobs 0` (all cores).
+//!
+//! Usage: `cargo run --release -p experiments --bin bench_pipeline [-- --run-all]`
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rf_sim::targets::StaticTarget;
+use rf_sim::Vec3;
+use rfipad::RfipadConfig;
+use std::time::Instant;
+
+fn time_observe(bench: &Bench, cached: bool, iters: u32) -> f64 {
+    let scene = &bench.deployment.scene;
+    let id = bench.deployment.layout.tags()[6];
+    let hand = StaticTarget::new(Vec3::new(-0.08, -0.11, 0.04), 0.02);
+    let mut rng = StdRng::seed_from_u64(3);
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..iters {
+        let t = i as f64 * 1e-4;
+        let obs = if cached {
+            scene.observe(id, t, &[&hand], &mut rng)
+        } else {
+            scene.observe_uncached(id, t, &[&hand], &mut rng)
+        };
+        if let Some(o) = obs {
+            acc += o.phase;
+        }
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64() / iters as f64 * 1e9
+}
+
+fn time_batch(bench: &Bench, user: &UserProfile, threads: Option<usize>) -> f64 {
+    match threads {
+        Some(n) => std::env::set_var("RAYON_NUM_THREADS", n.to_string()),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let jobs: Vec<(Stroke, u64)> = Stroke::all_thirteen()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, 400 + i as u64))
+        .collect();
+    let start = Instant::now();
+    let trials = bench.run_stroke_trials(&jobs, user);
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(trials.len());
+    std::env::remove_var("RAYON_NUM_THREADS");
+    elapsed
+}
+
+fn time_run_all(jobs_flag: &str) -> Option<f64> {
+    let exe_dir = std::env::current_exe().ok()?.parent()?.to_path_buf();
+    let start = Instant::now();
+    let status = std::process::Command::new(exe_dir.join("run_all"))
+        .args(["quick", "--jobs", jobs_flag])
+        .stdout(std::process::Stdio::null())
+        .status()
+        .ok()?;
+    if !status.success() {
+        return None;
+    }
+    Some(start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let with_run_all = std::env::args().any(|a| a == "--run-all");
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    eprintln!("calibrating bench …");
+    let bench = Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    );
+    let user = UserProfile::average();
+
+    eprintln!("timing Scene::observe (cached vs uncached) …");
+    // Warm up, then measure.
+    time_observe(&bench, true, 2_000);
+    let cached_ns = time_observe(&bench, true, 20_000);
+    let uncached_ns = time_observe(&bench, false, 20_000);
+
+    eprintln!("timing 13-stroke batch (serial vs {cores} threads) …");
+    let serial_s = time_batch(&bench, &user, Some(1));
+    let parallel_s = time_batch(&bench, &user, None);
+
+    let run_all = if with_run_all {
+        eprintln!("timing run_all quick --jobs 1 (serial) …");
+        let one = time_run_all("1");
+        eprintln!("timing run_all quick --jobs 0 (all cores) …");
+        let all = time_run_all("0");
+        one.zip(all)
+    } else {
+        None
+    };
+
+    let observe_speedup = uncached_ns / cached_ns;
+    let batch_speedup = serial_s / parallel_s;
+    // The seed ran uncached AND serial, so its estimated cost multiplies
+    // both ratios; the measured components are recorded separately.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"scene_observe\": {{ \"cached_ns\": {cached_ns:.1}, \"uncached_ns\": {uncached_ns:.1}, \"speedup\": {observe_speedup:.2} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"stroke_batch_13\": {{ \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {batch_speedup:.2} }},\n"
+    ));
+    if let Some((one, all)) = run_all {
+        json.push_str(&format!(
+            "  \"run_all_quick\": {{ \"jobs1_s\": {one:.1}, \"jobs_all_s\": {all:.1}, \"speedup\": {:.2} }},\n",
+            one / all
+        ));
+    }
+    json.push_str(&format!(
+        "  \"estimated_speedup_vs_uncached_serial\": {:.1},\n",
+        observe_speedup * batch_speedup
+    ));
+    json.push_str(
+        "  \"note\": \"uncached_ns x serial_s approximate the pre-cache single-core seed; all trials are seeded and bit-identical across thread counts\"\n}\n",
+    );
+
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_pipeline.json");
+}

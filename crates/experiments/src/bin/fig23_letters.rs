@@ -21,17 +21,22 @@ fn main() {
         1,
     );
     let user = UserProfile::average();
-    let mut per_letter: HashMap<char, (usize, usize)> = HashMap::new();
+    let mut jobs = Vec::with_capacity(ALPHABET.len() * reps);
     for letter in ALPHABET {
-        let mut ok = 0;
         for rep in 0..reps {
-            let trial =
-                bench.run_letter_trial(letter, &user, 2300 + rep as u64 * 101 + letter as u64 * 7);
-            if trial.correct() {
-                ok += 1;
-            }
+            jobs.push((letter, 2300 + rep as u64 * 101 + letter as u64 * 7));
         }
-        per_letter.insert(letter, (ok, reps));
+    }
+    let trials = bench.run_letter_trials(&jobs, &user);
+    let mut per_letter: HashMap<char, (usize, usize)> = HashMap::new();
+    for trial in &trials {
+        let entry = per_letter.entry(trial.truth).or_insert((0, reps));
+        if trial.correct() {
+            entry.0 += 1;
+        }
+    }
+    for letter in ALPHABET {
+        per_letter.entry(letter).or_insert((0, reps));
     }
 
     let mut rows = Vec::new();

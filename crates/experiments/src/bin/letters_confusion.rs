@@ -22,18 +22,22 @@ fn main() {
         1,
     );
     let user = UserProfile::average();
-    let mut matrix = ConfusionMatrix::new();
+    let mut jobs = Vec::with_capacity(ALPHABET.len() * reps);
     for letter in ALPHABET {
         for rep in 0..reps {
-            let trial =
-                bench.run_letter_trial(letter, &user, 2800 + rep as u64 * 101 + letter as u64);
-            let predicted = trial
-                .result
-                .letter
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "∅".to_string());
-            matrix.record(letter.to_string(), predicted);
+            jobs.push((letter, 2800 + rep as u64 * 101 + letter as u64));
         }
+    }
+    let mut matrix = ConfusionMatrix::new();
+    // Trials fan out over worker threads; recording in job order keeps the
+    // matrix identical to a serial pass.
+    for trial in bench.run_letter_trials(&jobs, &user) {
+        let predicted = trial
+            .result
+            .letter
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "∅".to_string());
+        matrix.record(trial.truth.to_string(), predicted);
     }
 
     println!("== Letter confusion ({} sessions per letter) ==", reps);

@@ -1,11 +1,17 @@
 //! Regenerates the entire evaluation in one command:
-//! `cargo run --release -p experiments --bin run_all [-- quick]`.
+//! `cargo run --release -p experiments --bin run_all [-- quick] [-- --jobs N]`.
 //!
-//! Spawns every table/figure binary in sequence (they are all seeded and
-//! deterministic) and prints a pass/fail summary. With `quick`, each
-//! binary runs at reduced repetitions for a fast smoke pass.
+//! Spawns every table/figure binary (they are all seeded and deterministic)
+//! and prints a pass/fail summary in the fixed roster order. With `quick`,
+//! each binary runs at reduced repetitions for a fast smoke pass. With
+//! `--jobs N`, up to `N` binaries run concurrently; because every binary is
+//! seeded, its output is independent of what else is running, so the
+//! summary is identical to a serial pass — only the wall clock changes.
+//! `--jobs 0` picks the machine's available parallelism.
 
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 const EXPERIMENTS: &[(&str, Option<&str>)] = &[
     ("fig02_observations", None),
@@ -37,44 +43,126 @@ const EXPERIMENTS: &[(&str, Option<&str>)] = &[
     ("letters_confusion", Some("10")),
 ];
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
+/// Outcome of one experiment binary.
+struct Outcome {
+    name: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let requested = if let Some(v) = a.strip_prefix("--jobs=") {
+            v.parse::<usize>().ok()
+        } else if a == "--jobs" {
+            args.get(i + 1).and_then(|v| v.parse::<usize>().ok())
+        } else {
+            continue;
+        };
+        let n = requested.unwrap_or_else(|| {
+            eprintln!("run_all: --jobs expects a number (e.g. --jobs 4)");
+            std::process::exit(2);
+        });
+        if n == 0 {
+            return std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+        }
+        return n;
+    }
+    1
+}
+
+fn run_one(name: &'static str, reps: Option<&str>, quick: bool) -> Outcome {
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()
         .expect("exe directory")
         .to_path_buf();
+    let mut cmd = Command::new(exe_dir.join(name));
+    if let Some(r) = reps {
+        let reps_value = if quick { "3".to_string() } else { r.to_string() };
+        cmd.arg(reps_value);
+    }
+    match cmd.output() {
+        Ok(out) if out.status.success() => Outcome {
+            name,
+            ok: true,
+            detail: String::new(),
+        },
+        Ok(out) => Outcome {
+            name,
+            ok: false,
+            detail: format!(
+                "exit {:?}: {}",
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        },
+        Err(e) => Outcome {
+            name,
+            ok: false,
+            detail: format!("failed to launch: {e}"),
+        },
+    }
+}
 
-    let mut failures = Vec::new();
-    for (name, reps) in EXPERIMENTS {
-        let mut cmd = Command::new(exe_dir.join(name));
-        if let Some(r) = reps {
-            let reps_value = if quick { "3".to_string() } else { (*r).to_string() };
-            cmd.arg(reps_value);
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let jobs = parse_jobs().min(EXPERIMENTS.len()).max(1);
+
+    if jobs > 1 {
+        println!("running {} experiments on {jobs} workers …", EXPERIMENTS.len());
+    }
+
+    // Fan the roster out over `jobs` workers via an atomic cursor and store
+    // results by roster index so the report order never depends on timing.
+    let slots: Vec<Mutex<Option<Outcome>>> =
+        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((name, reps)) = EXPERIMENTS.get(i) else {
+                    break;
+                };
+                if jobs == 1 {
+                    print!("running {name:<24} … ");
+                    use std::io::Write;
+                    let _ = std::io::stdout().flush();
+                }
+                let outcome = run_one(name, *reps, quick);
+                if jobs == 1 {
+                    println!("{}", if outcome.ok { "ok" } else { "FAILED" });
+                }
+                *slots[i].lock().expect("slot lock") = Some(outcome);
+            });
         }
-        print!("running {name:<24} … ");
-        match cmd.output() {
-            Ok(out) if out.status.success() => println!("ok"),
-            Ok(out) => {
-                println!("FAILED (exit {:?})", out.status.code());
-                failures.push((*name, String::from_utf8_lossy(&out.stderr).to_string()));
-            }
-            Err(e) => {
-                println!("FAILED to launch: {e}");
-                failures.push((*name, e.to_string()));
-            }
+    });
+
+    let outcomes: Vec<Outcome> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("worker filled slot"))
+        .collect();
+
+    if jobs > 1 {
+        for o in &outcomes {
+            println!("{:<24} {}", o.name, if o.ok { "ok" } else { "FAILED" });
         }
     }
 
+    let failures: Vec<&Outcome> = outcomes.iter().filter(|o| !o.ok).collect();
     println!(
         "\n{} experiments, {} failed{}",
         EXPERIMENTS.len(),
         failures.len(),
         if quick { " (quick mode)" } else { "" }
     );
-    for (name, err) in &failures {
-        let tail: String = err.lines().rev().take(3).collect::<Vec<_>>().join(" | ");
-        println!("  {name}: {tail}");
+    for o in &failures {
+        let tail: String = o.detail.lines().rev().take(3).collect::<Vec<_>>().join(" | ");
+        println!("  {}: {tail}", o.name);
     }
     if !failures.is_empty() {
         std::process::exit(1);

@@ -8,11 +8,13 @@ use hand_kinematics::user::UserProfile;
 use hand_kinematics::writer::{Writer, WritingSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use rf_sim::scene::TagObservation;
 use rf_sim::targets::MovingTarget;
 use rfid_gen2::reader::{Gen2Reader, ReaderConfig};
 use rfipad::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Seconds of static recording used for calibration (the paper samples each
 /// tag ~100 times; at ~8 reads/s/tag this takes a few seconds).
@@ -58,11 +60,16 @@ impl Bench {
         }
     }
 
-    /// The hand and forearm targets for a session written by `user`.
+    /// The hand and forearm targets for a session written by `user`. Both
+    /// targets share the session's trajectory allocation (Arc refcount
+    /// bumps, not deep copies of the segment list).
     pub fn targets(session: &WritingSession, user: &UserProfile) -> (HandTarget, HandTarget) {
-        let hand = HandTarget::new(session.trajectory.clone(), user.hand_rcs_m2);
-        let arm =
-            HandTarget::with_offset(session.trajectory.clone(), user.arm_rcs_m2, user.arm_offset);
+        let hand = HandTarget::new(Arc::clone(&session.trajectory), user.hand_rcs_m2);
+        let arm = HandTarget::with_offset(
+            Arc::clone(&session.trajectory),
+            user.arm_rcs_m2,
+            user.arm_offset,
+        );
         (hand, arm)
     }
 
@@ -117,6 +124,36 @@ impl Bench {
             observations,
             result,
         }
+    }
+
+    /// Runs a list of `(stroke, seed)` jobs across worker threads and
+    /// returns the trials in input order.
+    ///
+    /// Each trial owns its seed, so the outcome of job `i` is a pure
+    /// function of `jobs[i]` — the result vector is bit-identical to
+    /// mapping [`Bench::run_stroke_trial`] over the jobs serially, whatever
+    /// the thread count.
+    pub fn run_stroke_trials(
+        &self,
+        jobs: &[(Stroke, u64)],
+        user: &UserProfile,
+    ) -> Vec<StrokeTrial> {
+        jobs.par_iter()
+            .map(|&(stroke, seed)| self.run_stroke_trial(stroke, user, seed))
+            .collect()
+    }
+
+    /// Runs a list of `(letter, seed)` jobs across worker threads and
+    /// returns the trials in input order. Same determinism contract as
+    /// [`Bench::run_stroke_trials`].
+    pub fn run_letter_trials(
+        &self,
+        jobs: &[(char, u64)],
+        user: &UserProfile,
+    ) -> Vec<LetterTrial> {
+        jobs.par_iter()
+            .map(|&(letter, seed)| self.run_letter_trial(letter, user, seed))
+            .collect()
     }
 }
 
@@ -255,13 +292,18 @@ impl Bench {
     /// Runs `repetitions` of each of the 13 strokes and tallies accuracy
     /// and detection rates. Seeds derive from `seed0` so batches are
     /// reproducible yet distinct.
+    ///
+    /// Trials are independent (each reseeds its own rng from the derived
+    /// per-trial seed), so they fan out across worker threads; the tally is
+    /// then folded in job order, making the batch bit-identical to a serial
+    /// run regardless of thread count.
     pub fn run_motion_batch(
         &self,
         user: &UserProfile,
         repetitions: usize,
         seed0: u64,
     ) -> MotionBatch {
-        let mut batch = MotionBatch::default();
+        let mut jobs = Vec::with_capacity(13 * repetitions);
         for stroke in Stroke::all_thirteen() {
             for rep in 0..repetitions {
                 let seed = seed0
@@ -269,29 +311,33 @@ impl Bench {
                     .wrapping_add(stroke.shape.motion_number() as u64 * 131)
                     .wrapping_add(stroke.reversed as u64 * 17)
                     .wrapping_add(rep as u64);
-                let trial = self.run_stroke_trial(stroke, user, seed);
-                batch.trials += 1;
-                if trial.correct() {
-                    batch.exact += 1;
-                }
-                if trial.shape_correct() {
-                    batch.shape += 1;
-                }
-                if trial.has_false_negative() {
-                    batch.counts.false_negatives += 1;
-                } else {
-                    batch.counts.true_positives += 1;
-                }
-                // The paper's FPR counts *falsely detected motions*: a
-                // detection reporting the wrong motion, or spurious extra
-                // detections.
-                let falsely_detected =
-                    trial.has_false_positive() || (!trial.has_false_negative() && !trial.correct());
-                if falsely_detected {
-                    batch.counts.false_positives += 1;
-                } else {
-                    batch.counts.true_negatives += 1;
-                }
+                jobs.push((stroke, seed));
+            }
+        }
+        let trials = self.run_stroke_trials(&jobs, user);
+        let mut batch = MotionBatch::default();
+        for trial in &trials {
+            batch.trials += 1;
+            if trial.correct() {
+                batch.exact += 1;
+            }
+            if trial.shape_correct() {
+                batch.shape += 1;
+            }
+            if trial.has_false_negative() {
+                batch.counts.false_negatives += 1;
+            } else {
+                batch.counts.true_positives += 1;
+            }
+            // The paper's FPR counts *falsely detected motions*: a
+            // detection reporting the wrong motion, or spurious extra
+            // detections.
+            let falsely_detected =
+                trial.has_false_positive() || (!trial.has_false_negative() && !trial.correct());
+            if falsely_detected {
+                batch.counts.false_positives += 1;
+            } else {
+                batch.counts.true_negatives += 1;
             }
         }
         batch

@@ -9,6 +9,7 @@
 use rf_sim::geometry::Vec3;
 use rf_sim::targets::{MovingTarget, TargetSample};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Minimum-jerk progress function: fraction of path completed at normalized
 /// time `τ ∈ [0, 1]`: `s(τ) = 10τ³ − 15τ⁴ + 6τ⁵`.
@@ -242,9 +243,13 @@ impl Trajectory {
 
 /// A hand (or arm) following a trajectory, exposed to the RF scene as a
 /// moving scatterer.
+///
+/// The trajectory is held behind an [`Arc`], so building the usual
+/// hand + forearm target pair from one session shares a single trajectory
+/// allocation instead of deep-copying the segment list per target.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HandTarget {
-    trajectory: Trajectory,
+    trajectory: Arc<Trajectory>,
     rcs_m2: f64,
     /// Constant offset applied to every position (used to hang an arm
     /// behind the hand).
@@ -253,15 +258,16 @@ pub struct HandTarget {
 
 impl HandTarget {
     /// Wraps a trajectory as a hand with the given RCS (a hand is roughly
-    /// 0.01–0.03 m²).
+    /// 0.01–0.03 m²). Accepts an owned [`Trajectory`] or a shared
+    /// `Arc<Trajectory>`.
     ///
     /// # Panics
     ///
     /// Panics if `rcs_m2` is not positive.
-    pub fn new(trajectory: Trajectory, rcs_m2: f64) -> Self {
+    pub fn new(trajectory: impl Into<Arc<Trajectory>>, rcs_m2: f64) -> Self {
         assert!(rcs_m2 > 0.0, "RCS must be positive");
         Self {
-            trajectory,
+            trajectory: trajectory.into(),
             rcs_m2,
             offset: Vec3::ZERO,
         }
@@ -269,10 +275,10 @@ impl HandTarget {
 
     /// A second scatterer (the forearm) rigidly offset from the hand with
     /// its own, larger RCS.
-    pub fn with_offset(trajectory: Trajectory, rcs_m2: f64, offset: Vec3) -> Self {
+    pub fn with_offset(trajectory: impl Into<Arc<Trajectory>>, rcs_m2: f64, offset: Vec3) -> Self {
         assert!(rcs_m2 > 0.0, "RCS must be positive");
         Self {
-            trajectory,
+            trajectory: trajectory.into(),
             rcs_m2,
             offset,
         }

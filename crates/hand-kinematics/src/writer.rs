@@ -15,6 +15,7 @@ use rand::Rng;
 use rf_sim::geometry::Vec3;
 use rf_sim::noise::gaussian;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Ground truth for one drawn stroke.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,7 +34,9 @@ pub struct WrittenStroke {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WritingSession {
     /// The full hand trajectory (approach, strokes, adjustments, retreat).
-    pub trajectory: Trajectory,
+    /// Shared behind an [`Arc`] so the hand and forearm scene targets (and
+    /// any cloned trial records) reference one allocation.
+    pub trajectory: Arc<Trajectory>,
     /// Ground-truth stroke spans in time order.
     pub strokes: Vec<WrittenStroke>,
     /// The letter written, if the session spells one.
@@ -85,7 +88,7 @@ impl Writer {
         let stroke_end = self.push_stroke(&mut traj, start, &placement, rng);
         self.push_retreat(&mut traj, stroke_end, placement.to);
         WritingSession {
-            trajectory: traj,
+            trajectory: Arc::new(traj),
             strokes: vec![WrittenStroke {
                 stroke: placement.stroke,
                 placement,
@@ -159,7 +162,7 @@ impl Writer {
             }
         }
         WritingSession {
-            trajectory: traj,
+            trajectory: Arc::new(traj),
             strokes,
             letter: Some(letter.to_ascii_uppercase()),
         }

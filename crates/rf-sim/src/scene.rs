@@ -12,6 +12,16 @@
 //! casing: placing the antenna on the hand's side of the plate (`z > 0`)
 //! makes the hand and arm cross reader–tag paths and triggers obstruction;
 //! placing it behind the plate (`z < 0`) leaves only the reflection paths.
+//!
+//! Tags and the antenna never move, so every target-independent channel
+//! term — static multipath, neighbour shadowing, antenna/tag gains, the
+//! radar-equation and Friis base powers, the geometric phase — is
+//! precomputed per tag and per channel frequency at construction (the
+//! [`StaticChannelCache`]). `observe` then only evaluates the moving
+//! targets' reflection paths and the noise draws, which is what makes
+//! large experiment batches affordable. [`Scene::observe_uncached`]
+//! recomputes everything from scratch and is bit-identical by
+//! construction; tests hold the two against each other.
 
 use crate::antenna::ReaderAntenna;
 use crate::channel;
@@ -160,6 +170,53 @@ pub struct TagObservation {
     pub doppler_hz: f64,
 }
 
+/// Precomputed statics for one (tag, channel-frequency) pair: everything in
+/// the channel response that depends on neither the moving targets nor the
+/// RNG. Tags and the antenna never move, so these terms are invariant for
+/// the lifetime of a [`Scene`] — except across frequency hops, which is why
+/// the cache holds one slot per channel.
+#[derive(Debug, Clone, Copy)]
+struct ChannelStatics {
+    /// Channel wavelength (m).
+    lambda_m: f64,
+    /// `1 +` static multipath phasor: the target-free one-way field factor.
+    f_static: Complex,
+    /// Radar-equation backscatter power (dBm) at zero extra loss;
+    /// per-observation losses subtract `2·extra` from it.
+    base_backscatter_dbm: f64,
+    /// `4πd/λ + θ_T + θ_R + θ_tag` (rad): the reported phase minus the
+    /// target-induced diffraction shift.
+    phi_static: f64,
+}
+
+/// Frequency-independent statics for one tag.
+#[derive(Debug, Clone, Copy)]
+struct LinkStatics {
+    /// Reader–tag distance (m), floored away from zero like the response
+    /// path requires.
+    d_rt: f64,
+    /// System loss plus neighbour-tag shadowing (dB): the target-free part
+    /// of the one-way extra loss.
+    static_loss_db: f64,
+    /// Friis forward power (dBm) at zero extra loss. Evaluated at the fixed
+    /// carrier only: the IC harvests power broadband, so the forward link
+    /// does not hop.
+    base_forward_dbm: f64,
+}
+
+/// Per-tag static-channel cache, built once per scene and rebuilt when the
+/// transmit power changes. Holds one [`ChannelStatics`] slot per carrier the
+/// scene can use — the fixed carrier plus every hopping-plan channel — keyed
+/// by frequency bits, so each hopping dwell selects its own precomputed
+/// slot instead of invalidating anything at observation time.
+#[derive(Debug, Clone)]
+struct StaticChannelCache {
+    link: LinkStatics,
+    /// `(frequency bits, statics)` per channel; at most 51 entries (50 FCC
+    /// channels + the fixed carrier), scanned linearly.
+    channels: Vec<(u64, ChannelStatics)>,
+}
+
 /// The full simulated deployment.
 #[derive(Debug, Clone)]
 pub struct Scene {
@@ -170,6 +227,8 @@ pub struct Scene {
     /// Per-tag static neighbour shadowing (dB), precomputed because tags
     /// never move.
     static_shadow_db: Vec<f64>,
+    /// Per-tag static-channel cache, parallel to `tags`.
+    cache: Vec<StaticChannelCache>,
 }
 
 impl Scene {
@@ -198,13 +257,16 @@ impl Scene {
         } else {
             vec![0.0; tags.len()]
         };
-        Self {
+        let mut scene = Self {
             antenna,
             tags,
             environment,
             config,
             static_shadow_db,
-        }
+            cache: Vec::new(),
+        };
+        scene.rebuild_cache();
+        scene
     }
 
     /// The reader antenna.
@@ -232,30 +294,137 @@ impl Scene {
         &self.config
     }
 
-    /// Replaces the transmit power (for the paper's Fig. 17 power sweep).
+    /// Replaces the transmit power (for the paper's Fig. 17 power sweep)
+    /// and rebuilds the static-channel cache, whose base powers bake in the
+    /// transmit level.
     pub fn set_tx_power(&mut self, power: Dbm) {
         self.config.tx_power = power;
+        self.rebuild_cache();
     }
 
     fn wavelength(&self) -> Meters {
         self.config.frequency.wavelength()
     }
 
-    /// Sum of one-way losses (dB) beyond free space on the reader→tag path:
-    /// neighbour-tag shadowing plus target obstruction.
-    fn one_way_extra_loss(&self, tag: &Tag, targets: &[TargetSample]) -> Db {
-        let mut loss = self.config.system_loss_db
+    fn tag_index(&self, id: TagId) -> Option<usize> {
+        self.tags.iter().position(|t| t.id == id)
+    }
+
+    /// Recomputes every tag's [`StaticChannelCache`]. Called at construction
+    /// and whenever a config change (transmit power) invalidates the cached
+    /// base powers.
+    fn rebuild_cache(&mut self) {
+        self.cache = (0..self.tags.len())
+            .map(|index| self.compute_cache_for(index))
+            .collect();
+    }
+
+    fn compute_cache_for(&self, index: usize) -> StaticChannelCache {
+        let tag = &self.tags[index];
+        let link = self.link_statics_for(tag, self.static_shadow_db[index]);
+        let mut channels = vec![(
+            self.config.frequency.value().to_bits(),
+            self.channel_statics_for(tag, self.config.frequency),
+        )];
+        if let Some(plan) = &self.config.hopping {
+            for &hz in &plan.channels {
+                let bits = hz.to_bits();
+                if channels.iter().all(|(existing, _)| *existing != bits) {
+                    channels.push((bits, self.channel_statics_for(tag, Hertz(hz))));
+                }
+            }
+        }
+        StaticChannelCache { link, channels }
+    }
+
+    fn link_statics_for(&self, tag: &Tag, shadow_db: f64) -> LinkStatics {
+        LinkStatics {
+            d_rt: self.antenna.position().distance(tag.position).max(1e-6),
+            static_loss_db: self.config.system_loss_db + shadow_db,
+            base_forward_dbm: channel::forward_power(
+                self.config.tx_power,
+                self.antenna.gain_toward(tag.position),
+                crate::units::Dbi(tag.model.gain_toward_dbi(self.incidence_angle(tag))),
+                Meters(self.antenna.position().distance(tag.position)),
+                self.wavelength(),
+                Db(0.0),
+            )
+            .value(),
+        }
+    }
+
+    fn channel_statics_for(&self, tag: &Tag, frequency: Hertz) -> ChannelStatics {
+        let lambda = frequency.wavelength();
+        let lambda_m = lambda.value();
+        let ant = self.antenna.position();
+        let d_rt = ant.distance(tag.position).max(1e-6);
+        let f_static = Complex::new(1.0, 0.0)
             + self
-                .tags
-                .iter()
-                .position(|t| t.id == tag.id)
-                .map(|i| self.static_shadow_db[i])
-                .unwrap_or(0.0);
+                .environment
+                .multipath_phasor(ant, tag.position, lambda_m);
+        // The tag's incidence pattern applies on both traversals: fold it
+        // into the effective RCS.
+        let pattern_db =
+            tag.model.gain_toward_dbi(self.incidence_angle(tag)) - tag.model.gain_dbi();
+        let effective_rcs = tag.model.rcs_m2() * 10f64.powf(2.0 * pattern_db / 10.0);
+        let base_backscatter_dbm = channel::backscatter_power(
+            self.config.tx_power,
+            self.antenna.gain_toward(tag.position),
+            effective_rcs.max(1e-9),
+            Meters(d_rt),
+            lambda,
+            Db(0.0),
+        )
+        .value();
+        let phi_static =
+            TAU * 2.0 * d_rt / lambda_m + self.config.reader_circuit_phase + tag.theta_tag;
+        ChannelStatics {
+            lambda_m,
+            f_static,
+            base_backscatter_dbm,
+            phi_static,
+        }
+    }
+
+    /// Fetches the statics for tag `index` on `frequency` — from the cache
+    /// when allowed and populated (every scene frequency is pre-slotted at
+    /// construction), recomputed from scratch otherwise. The fresh path
+    /// runs the identical arithmetic, so the two are bit-interchangeable.
+    fn statics_at(
+        &self,
+        index: usize,
+        frequency: Hertz,
+        use_cache: bool,
+    ) -> (LinkStatics, ChannelStatics) {
+        if use_cache {
+            if let Some(cache) = self.cache.get(index) {
+                let bits = frequency.value().to_bits();
+                if let Some((_, statics)) = cache.channels.iter().find(|(b, _)| *b == bits) {
+                    return (cache.link, *statics);
+                }
+            }
+        }
+        let tag = &self.tags[index];
+        (
+            self.link_statics_for(tag, self.static_shadow_db[index]),
+            self.channel_statics_for(tag, frequency),
+        )
+    }
+
+    /// Target-dependent one-way losses: returns `(extra, obstruction)` in
+    /// dB, where `extra` is the full one-way loss beyond free space (static
+    /// shadowing + obstruction + near-contact detuning) and `obstruction`
+    /// is the blockage-only sum, which also shifts the diffracted path's
+    /// phase. Computed once per observation and shared by the forward-link
+    /// gate, the IC margin, and the response amplitude/phase.
+    fn target_losses(&self, tag: &Tag, static_loss_db: f64, targets: &[TargetSample]) -> (f64, f64) {
+        let mut loss = static_loss_db;
+        let mut obstruction = 0.0;
         for target in targets {
             // The effective blocking width is bounded by the first Fresnel
             // zone (≈ 9 cm here): parts of a large target beyond it do not
             // shadow the link even though they scatter.
-            loss += coupling::obstruction_db(
+            let obst = coupling::obstruction_db(
                 target.position,
                 target.radius().clamp(0.03, 0.09),
                 self.antenna.position(),
@@ -263,27 +432,29 @@ impl Scene {
                 self.config.obstruction_max_db,
             )
             .value();
+            loss += obst;
+            obstruction += obst;
             // Near-contact detuning: a lossy target hovering over the tag.
             let d = target.position.distance(tag.position);
             loss +=
                 self.config.target_detuning_db / (1.0 + (d / self.config.detuning_scale_m).powi(4));
         }
-        Db(loss)
+        (loss, obstruction)
     }
 
     /// Power incident on the tag's IC, after gains, path loss, shadowing,
     /// and obstruction. Passive RFID is forward-link limited: a tag below
     /// its sensitivity does not respond at all.
+    ///
+    /// Tags are matched by id against the scene's cache; a tag the scene
+    /// does not know is evaluated fresh with zero neighbour shadowing.
     pub fn forward_power_at(&self, tag: &Tag, targets: &[TargetSample]) -> Dbm {
-        let d = Meters(self.antenna.position().distance(tag.position));
-        channel::forward_power(
-            self.config.tx_power,
-            self.antenna.gain_toward(tag.position),
-            crate::units::Dbi(tag.model.gain_toward_dbi(self.incidence_angle(tag))),
-            d,
-            self.wavelength(),
-            self.one_way_extra_loss(tag, targets),
-        )
+        let link = match self.tag_index(tag.id) {
+            Some(index) => self.cache[index].link,
+            None => self.link_statics_for(tag, 0.0),
+        };
+        let (extra, _) = self.target_losses(tag, link.static_loss_db, targets);
+        Dbm(link.base_forward_dbm - extra)
     }
 
     /// Angle between the reader→tag direction and the tag's plate normal
@@ -324,16 +495,39 @@ impl Scene {
     }
 
     fn response_with_samples(&self, tag: &Tag, samples: &[TargetSample], t: f64) -> Complex {
-        let lambda = self.frequency_at(t).wavelength();
-        let lambda_m = lambda.value();
-        let ant = self.antenna.position();
-        let d_rt = ant.distance(tag.position).max(1e-6);
+        let (link, statics) = match self.tag_index(tag.id) {
+            Some(index) => self.statics_at(index, self.frequency_at(t), true),
+            None => (
+                self.link_statics_for(tag, 0.0),
+                self.channel_statics_for(tag, self.frequency_at(t)),
+            ),
+        };
+        let (extra, obstruction) = self.target_losses(tag, link.static_loss_db, samples);
+        self.response_from_statics(tag, &link, &statics, samples, extra, obstruction)
+    }
 
-        // One-way field factor.
-        let mut f = Complex::new(1.0, 0.0)
-            + self
-                .environment
-                .multipath_phasor(ant, tag.position, lambda_m);
+    /// The target-dependent tail of the channel response: folds the moving
+    /// targets' reflection paths and cross terms into the cached static
+    /// field factor, then applies the (precomputed) radar-equation amplitude
+    /// and geometric phase. `extra_db`/`obstruction_db` come from
+    /// [`Scene::target_losses`] so one loss evaluation serves the forward
+    /// gate, the margin, and this response.
+    fn response_from_statics(
+        &self,
+        tag: &Tag,
+        link: &LinkStatics,
+        statics: &ChannelStatics,
+        samples: &[TargetSample],
+        extra_db: f64,
+        obstruction_db: f64,
+    ) -> Complex {
+        let lambda_m = statics.lambda_m;
+        let ant = self.antenna.position();
+        let d_rt = link.d_rt;
+
+        // One-way field factor: `1 + multipath` is cached; only the target
+        // reflection paths move.
+        let mut f = statics.f_static;
         for target in samples {
             let d_r_target = ant.distance(target.position);
             let d_target_t = target.position.distance(tag.position);
@@ -360,40 +554,11 @@ impl Scene {
             }
         }
 
-        let extra = self.one_way_extra_loss(tag, samples);
-        // The tag's incidence pattern applies on both traversals: fold it
-        // into the effective RCS.
-        let pattern_db =
-            tag.model.gain_toward_dbi(self.incidence_angle(tag)) - tag.model.gain_dbi();
-        let effective_rcs = tag.model.rcs_m2() * 10f64.powf(2.0 * pattern_db / 10.0);
-        let p_bs = channel::backscatter_power(
-            self.config.tx_power,
-            self.antenna.gain_toward(tag.position),
-            effective_rcs.max(1e-9),
-            Meters(d_rt),
-            lambda,
-            extra,
-        );
-        let amplitude = 10f64.powf(p_bs.value() / 20.0);
+        let amplitude = 10f64.powf((statics.base_backscatter_dbm - 2.0 * extra_db) / 20.0);
         // Knife-edge diffraction: a target blocking the direct path shifts
         // its phase in proportion to the blockage depth (applied two-way).
-        let obstruction_db: f64 = samples
-            .iter()
-            .map(|target| {
-                coupling::obstruction_db(
-                    target.position,
-                    target.radius().clamp(0.03, 0.09),
-                    self.antenna.position(),
-                    tag.position,
-                    self.config.obstruction_max_db,
-                )
-                .value()
-            })
-            .sum();
-        let phi_geo = TAU * 2.0 * d_rt / lambda_m
-            + self.config.reader_circuit_phase
-            + tag.theta_tag
-            + 2.0 * self.config.obstruction_phase_rad_per_db * obstruction_db;
+        let phi_geo =
+            statics.phi_static + 2.0 * self.config.obstruction_phase_rad_per_db * obstruction_db;
         Complex::from_polar(amplitude, -phi_geo) * f * f
     }
 
@@ -407,18 +572,60 @@ impl Scene {
         targets: &[&dyn MovingTarget],
         rng: &mut R,
     ) -> Option<TagObservation> {
-        let tag = self.tag(id)?;
+        self.observe_impl(id, t, targets, rng, true)
+    }
+
+    /// Like [`Scene::observe`] but recomputes every static channel term from
+    /// scratch instead of reading the per-channel cache. The two paths run
+    /// identical arithmetic, so with equal RNG states they produce
+    /// bit-identical observations — this method exists so tests (and anyone
+    /// auditing the cache) can prove that.
+    pub fn observe_uncached<R: Rng + ?Sized>(
+        &self,
+        id: TagId,
+        t: f64,
+        targets: &[&dyn MovingTarget],
+        rng: &mut R,
+    ) -> Option<TagObservation> {
+        self.observe_impl(id, t, targets, rng, false)
+    }
+
+    fn observe_impl<R: Rng + ?Sized>(
+        &self,
+        id: TagId,
+        t: f64,
+        targets: &[&dyn MovingTarget],
+        rng: &mut R,
+        use_cache: bool,
+    ) -> Option<TagObservation> {
+        let index = self.tag_index(id)?;
+        let tag = &self.tags[index];
+        let (link, statics) = self.statics_at(index, self.frequency_at(t), use_cache);
         let samples = sample_targets(targets, t);
-        if self.forward_power_at(tag, &samples).value() < tag.model.sensitivity().value() {
+        // One loss evaluation feeds the forward-link gate, the response
+        // amplitude/phase, and the IC margin below.
+        let (extra, obstruction) = self.target_losses(tag, link.static_loss_db, &samples);
+        let forward_dbm = link.base_forward_dbm - extra;
+        if forward_dbm < tag.model.sensitivity().value() {
             return None;
         }
-        let h = self.response_with_samples(tag, &samples, t);
+        let h = self.response_from_statics(tag, &link, &statics, &samples, extra, obstruction);
 
         // Doppler: finite difference of the noiseless reported phase
-        // (within one dwell, so hops do not alias into Doppler).
+        // (within one dwell, so hops do not alias into Doppler). The two
+        // endpoints share the cached statics; only the target terms move.
         const DOPPLER_DT: f64 = 1e-3;
         let samples_next = sample_targets(targets, t + DOPPLER_DT);
-        let h_next = self.response_with_samples(tag, &samples_next, t);
+        let (extra_next, obstruction_next) =
+            self.target_losses(tag, link.static_loss_db, &samples_next);
+        let h_next = self.response_from_statics(
+            tag,
+            &link,
+            &statics,
+            &samples_next,
+            extra_next,
+            obstruction_next,
+        );
         let dphi = wrap_to_pi((-h_next.arg()) - (-h.arg()));
         let doppler =
             dphi / (TAU * DOPPLER_DT) + noise::gaussian(rng, 0.0, self.doppler_noise_sigma());
@@ -437,7 +644,7 @@ impl Scene {
             * presence.min(1.5);
         // IC operating-point noise: a tag fed barely above its sensitivity
         // modulates with compressed depth and jittery phase.
-        let margin = self.forward_power_at(tag, &samples).value() - tag.model.sensitivity().value();
+        let margin = forward_dbm - tag.model.sensitivity().value();
         let power_noise = (self.config.power_noise_coeff * (-(margin - 2.0) / 4.0).exp()).min(0.4);
         // Ambient multipath jitter grows with reader range: the direct
         // path weakens as 1/d² while room reflections stay put, so the
@@ -716,6 +923,133 @@ mod tests {
             }
         }
         max_d
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::tags::{TagArray, TagModel};
+    use crate::targets::StaticTarget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scene_with(hopping: Option<HoppingPlan>, env: Environment) -> Scene {
+        let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |id| {
+            (id.0 as f64 * 2.399) % TAU
+        });
+        let c = array.center();
+        let antenna = ReaderAntenna::new(
+            Vec3::new(c.x, c.y, -0.32),
+            Vec3::new(0.0, 0.0, 1.0),
+            crate::units::Dbi(8.0),
+        );
+        Scene::new(
+            antenna,
+            array.tags().to_vec(),
+            env,
+            SceneConfig {
+                hopping,
+                ..SceneConfig::default()
+            },
+        )
+    }
+
+    /// Cached and uncached observations must agree bit-for-bit: same RNG
+    /// seed, same tag, same moving target, compared across the full
+    /// observation struct (phase, RSS, Doppler).
+    #[test]
+    fn cached_observations_match_uncached_exactly() {
+        let scene = scene_with(None, Environment::office_location(4));
+        let mut rng_cached = StdRng::seed_from_u64(77);
+        let mut rng_fresh = rng_cached.clone();
+        for i in 0..40 {
+            let t = i as f64 * 0.05;
+            let hand = StaticTarget::new(Vec3::new(-0.1 + 0.01 * i as f64, -0.12, 0.03), 0.02);
+            for id in [TagId(0), TagId(12), TagId(24)] {
+                let cached = scene.observe(id, t, &[&hand], &mut rng_cached);
+                let fresh = scene.observe_uncached(id, t, &[&hand], &mut rng_fresh);
+                assert_eq!(cached, fresh, "tag {id} at t={t}");
+            }
+        }
+    }
+
+    /// With a hopping plan, each dwell selects a different per-channel
+    /// cache slot; observations across dwell boundaries must still match
+    /// the from-scratch computation exactly.
+    #[test]
+    fn hopping_scene_cache_is_exact_across_dwell_boundaries() {
+        let scene = scene_with(Some(HoppingPlan::fcc()), Environment::office_location(2));
+        let plan = scene.config().hopping.clone().expect("plan set");
+        let mut rng_cached = StdRng::seed_from_u64(5);
+        let mut rng_fresh = rng_cached.clone();
+        let mut channels_seen = std::collections::HashSet::new();
+        // Samples straddle many dwells (dwell = 0.2 s, samples every 0.13 s).
+        for i in 0..40 {
+            let t = i as f64 * 0.13;
+            channels_seen.insert(scene.frequency_at(t).value().to_bits());
+            let cached = scene.observe(TagId(12), t, &[], &mut rng_cached);
+            let fresh = scene.observe_uncached(TagId(12), t, &[], &mut rng_fresh);
+            assert_eq!(cached, fresh, "t={t}");
+        }
+        assert!(
+            channels_seen.len() > 5,
+            "test must actually cross dwells: {} channels",
+            channels_seen.len()
+        );
+        // Every hopping channel has a pre-built cache slot: find a dwell
+        // using each channel and hold the two paths against each other.
+        for &hz in &plan.channels {
+            let t = (0..500)
+                .map(|k| k as f64 * plan.dwell_s + 0.01)
+                .find(|&t| plan.channel_at(t) == hz)
+                .expect("every channel appears within one plan cycle");
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = a.clone();
+            assert_eq!(
+                scene.observe(TagId(12), t, &[], &mut a),
+                scene.observe_uncached(TagId(12), t, &[], &mut b),
+            );
+        }
+    }
+
+    /// Changing the transmit power must invalidate the cached base powers:
+    /// the rebuilt cache agrees with the from-scratch path at the new
+    /// power, and the observation actually changed.
+    #[test]
+    fn set_tx_power_rebuilds_cache() {
+        let mut scene = scene_with(None, Environment::free_space());
+        let rng = StdRng::seed_from_u64(11);
+        let before = scene
+            .observe(TagId(12), 0.0, &[], &mut rng.clone())
+            .expect("readable");
+        scene.set_tx_power(Dbm(24.0));
+        let after_cached = scene.observe(TagId(12), 0.0, &[], &mut rng.clone());
+        let after_fresh = scene.observe_uncached(TagId(12), 0.0, &[], &mut rng.clone());
+        assert_eq!(after_cached, after_fresh);
+        let after = after_cached.expect("still readable at 24 dBm");
+        assert!(
+            (after.rss_dbm - before.rss_dbm).abs() > 3.0,
+            "a 6 dB TX drop must move RSS: {} vs {}",
+            before.rss_dbm,
+            after.rss_dbm
+        );
+    }
+
+    /// The noiseless response path (used by calibration) also goes through
+    /// the cache; it must be deterministic and match across scene clones.
+    #[test]
+    fn response_is_cache_stable_across_clones() {
+        let scene = scene_with(Some(HoppingPlan::fcc()), Environment::office_location(1));
+        let clone = scene.clone();
+        let tag = *scene.tag(TagId(7)).expect("exists");
+        let hand = StaticTarget::new(Vec3::new(0.1, -0.1, 0.04), 0.02);
+        for i in 0..10 {
+            let t = i as f64 * 0.21;
+            let a = scene.response(&tag, t, &[&hand]);
+            let b = clone.response(&tag, t, &[&hand]);
+            assert_eq!(a, b);
+        }
     }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Perf gate: build, test, quick-bench, and refresh BENCH_pipeline.json.
+#
+# Usage: scripts/bench-check.sh [--run-all]
+#   --run-all   also time the full `run_all quick` roster serial vs parallel
+#               (slower; produces the run_all_quick entry in the JSON)
+#
+# Fails on any build error, test failure, or bench panic. Criterion sample
+# time is kept short via CRITERION_SAMPLE_MS so the pass stays quick.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q
+
+echo "== quick criterion pass (observe cache + pipeline) =="
+CRITERION_SAMPLE_MS=${CRITERION_SAMPLE_MS:-150} cargo bench -p bench --bench observe_cache
+CRITERION_SAMPLE_MS=${CRITERION_SAMPLE_MS:-150} cargo bench -p bench --bench pipeline
+
+echo "== perf trajectory -> BENCH_pipeline.json =="
+cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
+
+echo "bench-check: OK"

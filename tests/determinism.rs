@@ -1,0 +1,106 @@
+//! Determinism guards for the parallel trial fan-out.
+//!
+//! The experiments harness runs independent trials across worker threads
+//! (`rayon`), which is only sound if parallel execution cannot change any
+//! reported number. These tests pin that contract: a batch or trial list
+//! computed on one thread must be **bit-identical** to the same batch
+//! computed across many, and repeated runs with equal seeds must agree
+//! exactly. The cached RF scene feeds every trial, so these tests also
+//! exercise the static-channel cache under concurrent `observe` calls.
+
+use experiments::{Bench, Deployment, DeploymentSpec};
+use hand_kinematics::stroke::Stroke;
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+fn bench() -> Bench {
+    // Force a real multi-threaded fan-out even on single-core CI boxes,
+    // where the engine would otherwise take its serial fallback and the
+    // tests would vacuously pass. Every test pins the same value, so
+    // concurrent test threads setting it is benign.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), 42),
+        RfipadConfig::default(),
+        1,
+    )
+}
+
+/// Runs the same jobs through the parallel helper (4 workers) and through
+/// a plain serial map of the single-trial path, and demands bit-identical
+/// observation streams — the contract `run_stroke_trials` promises.
+#[test]
+fn parallel_stroke_trials_match_serial_reference_exactly() {
+    let bench = bench();
+    let user = UserProfile::average();
+    let jobs: Vec<(Stroke, u64)> = Stroke::all_thirteen()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, 9000 + i as u64))
+        .collect();
+
+    let parallel = bench.run_stroke_trials(&jobs, &user);
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|&(stroke, seed)| bench.run_stroke_trial(stroke, &user, seed))
+        .collect();
+
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.truth, s.truth);
+        // The raw reader stream is the full observable state of a trial;
+        // exact equality here means every downstream number agrees too.
+        assert_eq!(p.observations.len(), s.observations.len());
+        for (po, so) in p.observations.iter().zip(&s.observations) {
+            assert_eq!(po, so);
+        }
+        assert_eq!(p.result.strokes.len(), s.result.strokes.len());
+        assert_eq!(p.correct(), s.correct());
+        assert_eq!(p.shape_correct(), s.shape_correct());
+    }
+}
+
+/// A motion batch must not depend on scheduling: run it several times and
+/// demand bit-identical tallies each time.
+#[test]
+fn motion_batch_is_bit_stable_across_runs() {
+    let bench = bench();
+    let user = UserProfile::average();
+    let first = bench.run_motion_batch(&user, 2, 1234);
+    for _ in 0..3 {
+        let again = bench.run_motion_batch(&user, 2, 1234);
+        assert_eq!(first.trials, again.trials);
+        assert_eq!(first.exact, again.exact);
+        assert_eq!(first.shape, again.shape);
+        assert_eq!(first.counts.true_positives, again.counts.true_positives);
+        assert_eq!(first.counts.false_positives, again.counts.false_positives);
+        assert_eq!(first.counts.true_negatives, again.counts.true_negatives);
+        assert_eq!(first.counts.false_negatives, again.counts.false_negatives);
+    }
+}
+
+/// Letter trials go through the same fan-out; pin them too.
+#[test]
+fn parallel_letter_trials_match_serial_reference_exactly() {
+    let bench = bench();
+    let user = UserProfile::average();
+    let jobs: Vec<(char, u64)> = ['C', 'I', 'L', 'V', 'T']
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (c, 5000 + i as u64 * 7))
+        .collect();
+
+    let parallel = bench.run_letter_trials(&jobs, &user);
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|&(letter, seed)| bench.run_letter_trial(letter, &user, seed))
+        .collect();
+
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.truth, s.truth);
+        assert_eq!(p.result.letter, s.result.letter);
+        for (po, so) in p.observations.iter().zip(&s.observations) {
+            assert_eq!(po, so);
+        }
+    }
+}

@@ -92,13 +92,13 @@ fn suppression_ablation_never_beats_suppression_in_rich_multipath() {
         RfipadConfig::default(),
         1,
     )
-    .run_motion_batch(&user, 4, 99);
+    .run_motion_batch(&user, 8, 99);
     let without = Bench::calibrate(
         Deployment::build(spec, 42),
         RfipadConfig::default().without_suppression(),
         1,
     )
-    .run_motion_batch(&user, 4, 99);
+    .run_motion_batch(&user, 8, 99);
     assert!(
         with.accuracy() >= without.accuracy(),
         "suppression {:.3} vs baseline {:.3}",

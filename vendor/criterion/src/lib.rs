@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the macro/API surface the workspace benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `BenchmarkId`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box` — but replaces the statistical engine with a
+//! simple calibrated wall-clock loop that prints mean time per iteration.
+//! Good enough to compare cold vs cached code paths; not a substitute for
+//! real criterion's outlier analysis.
+//!
+//! Tunables (environment):
+//! - `CRITERION_SAMPLE_MS`: target measurement time per benchmark in
+//!   milliseconds (default 300).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Batch sizing hint; the shim treats every variant the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    sample_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to fill the
+    /// configured sample window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes a
+        // meaningful fraction of the sample window.
+        let mut n: u64 = 1;
+        let calibration_floor = self.sample_time / 20;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || n >= 1 << 30 {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.sample_time {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += n;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over values produced by `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Keep batches small so setup output doesn't accumulate.
+        let batch: u64 = 16;
+        while total < self.sample_time || iters == 0 {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn sample_time() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+fn report(name: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{name:<48} time: {value:>10.3} {unit}/iter");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_time: sample_time(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            sample_time: self.sample_time,
+        };
+        body(&mut bencher);
+        report(name, bencher.mean_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group; `id` may be a `&str` or a
+    /// [`BenchmarkId`].
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, body);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching real criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Declares a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_nonzero_time() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        let mut criterion = Criterion::default();
+        let mut observed = 0.0;
+        criterion.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            observed = b.mean_ns;
+        });
+        assert!(observed > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        let mut criterion = Criterion::default();
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+            assert!(b.mean_ns > 0.0);
+        });
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("observe", 4).to_string(), "observe/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

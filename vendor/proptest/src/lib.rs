@@ -1,0 +1,343 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro over `arg in strategy` parameter lists, range strategies for floats
+//! and integers, `any::<T>()`, tuple strategies, `prop::collection::vec`,
+//! and the `prop_assert*` macros. Instead of shrinking random failures, it
+//! runs a fixed number of cases from an RNG seeded by the test-function name,
+//! so every run of a given test explores the same inputs (failures are
+//! reproducible by rerunning the test, no persistence files needed).
+
+use std::ops::Range;
+
+pub use rand;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of cases each `proptest!` test runs (proptest's default is 256;
+/// this harness trades a little coverage for faster suites).
+pub const CASES: u32 = 64;
+
+/// Error carried by `prop_assert!` failures inside a `proptest!` body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description, including the offending inputs.
+    pub message: String,
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of generated values. Unlike real proptest there is no value
+/// tree / shrinking; `sample` draws a fresh value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug + Clone;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                assert!(self.start < self.end, "empty float strategy range");
+                rng.random_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                assert!(self.start < self.end, "empty integer strategy range");
+                rng.random_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($(ref $name,)+) = *self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + std::fmt::Debug + Clone {
+    /// Draws an unconstrained value of this type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                rng.random::<$ty>()
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite, sign-symmetric spread; real proptest also generates
+        // specials (NaN, infinities) but no test here relies on them.
+        (rng.random::<f64>() - 0.5) * 2e6
+    }
+}
+
+/// Strategy over a type's whole domain; construct via [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `len` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let n = rng.random_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Seeds the per-test RNG from the test's module path + name so each test
+/// gets its own deterministic input stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a; stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError { message: format!($($fmt)*) });
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        $crate::prop_assert!(
+            left_val == right_val,
+            "assertion failed: `{:?}` == `{:?}`",
+            left_val,
+            right_val
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        $crate::prop_assert!(left_val == right_val, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        $crate::prop_assert!(
+            left_val != right_val,
+            "assertion failed: `{:?}` != `{:?}`",
+            left_val,
+            right_val
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // Treated as a silently passing case; the deterministic input
+            // stream means over-filtering shows up as reduced coverage, not
+            // flaky rejection errors.
+            return Ok(());
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written at the call site and
+/// captured via `$(#[$meta])*`) that samples `CASES` deterministic inputs
+/// and runs the body against each.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::rand::SeedableRng;
+            use $crate::Strategy as _;
+            let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..$crate::CASES {
+                $(let $arg = ($strategy).sample(&mut rng);)*
+                let outcome: $crate::TestCaseResult = (|| {
+                    $(let $arg = $arg.clone();)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        $crate::CASES,
+                        err.message,
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}  ",)*),
+                            $($arg),*
+                        ),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a::one"), crate::seed_for("a::two"));
+        assert_eq!(crate::seed_for("a::one"), crate::seed_for("a::one"));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(any::<u8>(), 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+
+        #[test]
+        fn tuple_strategies_compose(pair in (0.0f64..1.0, 0u8..4)) {
+            prop_assert!(pair.0 >= 0.0 && pair.0 < 1.0);
+            prop_assert!(pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let panic = result.expect_err("property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert!(message.contains("always_fails"));
+        assert!(message.contains("inputs"));
+    }
+}

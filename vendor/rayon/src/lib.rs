@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset the experiments harness uses — `into_par_iter()` /
+//! `par_iter()` followed by `map(...).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope`. Work items are handed out through an atomic cursor
+//! and results are written back into their original slot, so `collect`
+//! always returns results in input order regardless of which worker ran
+//! which item. That ordering guarantee is what makes parallel experiment
+//! batches bit-identical to serial ones.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like real rayon) or falls
+//! back to `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the pool-less engine spawns per call.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `op(i)` for every index, spreading indices across worker threads via
+/// an atomic cursor; results land in input order.
+fn run_indexed<T, F>(len: usize, op: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(op).collect();
+    }
+
+    let out: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let op = &op;
+    let out_ref = &out;
+    let cursor_ref = &cursor;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let value = op(i);
+                *out_ref[i].lock().expect("worker panicked") = Some(value);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("worker panicked")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// Parallel iterator adapter: holds the items and a chain of mapping steps
+/// is represented by eagerly materialising at `collect`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Result of `ParIter::map`; evaluation happens at `collect`/`for_each`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    map: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item in parallel (evaluated on `collect`).
+    pub fn map<T, F>(self, map: F) -> ParMap<I, F>
+    where
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        ParMap {
+            items: self.items,
+            map,
+        }
+    }
+
+    /// Runs `op` on every item in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(I) + Sync,
+        I: Sync,
+    {
+        self.map(op).collect::<Vec<()>>();
+    }
+}
+
+impl<I: Send, T: Send, F: Fn(I) -> T + Sync> ParMap<I, F> {
+    /// Evaluates the map over all items and collects results in input order.
+    pub fn collect<C: FromParResults<T>>(self) -> C {
+        let slots: Vec<Mutex<Option<I>>> = self
+            .items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let map = &self.map;
+        let slots_ref = &slots;
+        let results = run_indexed(slots_ref.len(), move |i| {
+            let item = slots_ref[i]
+                .lock()
+                .expect("worker panicked")
+                .take()
+                .expect("each slot taken once");
+            map(item)
+        });
+        C::from_par_results(results)
+    }
+}
+
+/// Collection target for parallel results (mirrors rayon's
+/// `FromParallelIterator` for the `Vec` case the workspace needs).
+pub trait FromParResults<T> {
+    fn from_par_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParResults<T> for Vec<T> {
+    fn from_par_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+
+            fn into_par_iter(self) -> ParIter<$ty> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Types whose references yield parallel iterators (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn vec_and_slice_par_iter_agree() {
+        let data: Vec<i32> = (0..100).collect();
+        let doubled_ref: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        let doubled_own: Vec<i32> = data.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled_ref, doubled_own);
+    }
+
+    #[test]
+    fn respects_thread_env_when_single() {
+        // With a single worker the engine falls back to the serial path;
+        // output must be identical either way.
+        let serial: Vec<usize> = (0usize..64).map(|i| i + 1).collect();
+        let parallel: Vec<usize> = (0usize..64).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..101).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

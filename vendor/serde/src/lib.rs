@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` in both the trait and derive-macro
+//! namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives expand
+//! to nothing (see the sibling `serde_derive` shim) because nothing in this
+//! workspace performs actual serialization — the annotations only document
+//! intent until a real registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided; nothing
+/// here borrows from a deserializer).
+pub trait Deserialize {}
