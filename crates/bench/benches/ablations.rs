@@ -94,10 +94,10 @@ fn bench_suppression_cost(c: &mut Criterion) {
     .expect("valid");
     let mut group = c.benchmark_group("suppression_runtime");
     group.bench_function("with", |b| {
-        b.iter(|| with.recognize_session(black_box(&trial.observations)))
+        b.iter(|| with.recognize_session(black_box(&trial.reports)))
     });
     group.bench_function("without", |b| {
-        b.iter(|| without.recognize_session(black_box(&trial.observations)))
+        b.iter(|| without.recognize_session(black_box(&trial.reports)))
     });
     group.finish();
 }
@@ -122,7 +122,7 @@ fn bench_window_sizes(c: &mut Criterion) {
         )
         .expect("valid");
         group.bench_function(BenchmarkId::from_parameter(frames), |b| {
-            b.iter(|| rec.recognize_session(black_box(&trial.observations)))
+            b.iter(|| rec.recognize_session(black_box(&trial.reports)))
         });
     }
     group.finish();

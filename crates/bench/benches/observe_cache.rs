@@ -74,7 +74,8 @@ fn bench_motion_batch(c: &mut Criterion) {
         b.iter(|| {
             jobs.iter()
                 .map(|&(s, seed)| bench.run_stroke_trial(s, &user, seed))
-                .count()
+                .collect::<Vec<_>>()
+                .len()
         })
     });
     group.bench_function("parallel", |b| {
@@ -83,5 +84,10 @@ fn bench_motion_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe, bench_stroke_trial, bench_motion_batch);
+criterion_group!(
+    benches,
+    bench_observe,
+    bench_stroke_trial,
+    bench_motion_batch
+);
 criterion_main!(benches);

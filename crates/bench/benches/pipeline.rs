@@ -20,7 +20,7 @@ fn bench_calibration(c: &mut Criterion) {
     let run = bench
         .reader
         .run(&bench.deployment.scene, &[], 0.0, 6.0, &mut rng);
-    let obs: Vec<_> = run.events.iter().map(|e| e.observation).collect();
+    let obs = run.events.clone();
     let layout = bench.deployment.layout.clone();
     let config = RfipadConfig::default();
     c.bench_function("calibration/6s_static", |b| {
@@ -40,7 +40,7 @@ fn bench_stroke_recognition(c: &mut Criterion) {
         b.iter(|| {
             bench
                 .recognizer
-                .recognize_session(black_box(&trial.observations))
+                .recognize_session(black_box(&trial.reports))
         })
     });
 }
@@ -57,7 +57,7 @@ fn bench_letter_recognition(c: &mut Criterion) {
         b.iter(|| {
             bench
                 .recognizer
-                .recognize_session(black_box(&trial.observations))
+                .recognize_session(black_box(&trial.reports))
         })
     });
 }
@@ -75,7 +75,7 @@ fn bench_online_pipeline(c: &mut Criterion) {
             || OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid"),
             |mut pipeline| {
                 let mut events = 0usize;
-                for obs in &trial.observations {
+                for obs in &trial.reports {
                     events += pipeline.push(*obs).len();
                 }
                 events += pipeline.finish().len();

@@ -57,7 +57,7 @@ fn main() {
                 if detected.stroke.shape != stroke.shape {
                     continue;
                 }
-                let streams = bench.recognizer.streams(&trial.observations);
+                let streams = bench.recognizer.streams(&trial.reports);
                 let span = detected.span;
                 let mut motion = detected.motion.clone();
                 motion.shape = stroke.shape;

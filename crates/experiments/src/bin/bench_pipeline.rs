@@ -2,16 +2,20 @@
 //! trial fan-out, then writes machine-readable results to
 //! `BENCH_pipeline.json` so future PRs can compare against this one.
 //!
-//! Measures three levels:
+//! Measures four levels:
 //!   1. `Scene::observe` cached vs. from-scratch (`observe_uncached`) — the
 //!      Layer-1 win; the uncached path is the seed's per-read cost.
 //!   2. A 13-stroke trial batch serial vs. parallel — the Layer-2 win
 //!      (thread count pinned via `RAYON_NUM_THREADS`).
-//!   3. Optionally (`--run-all`), the full `run_all quick` roster with
+//!   3. Trace replay: decode the golden session from both framings and
+//!      recognize it — the cost of running from a recorded trace instead
+//!      of a live reader.
+//!   4. Optionally (`--run-all`), the full `run_all quick` roster with
 //!      `--jobs 1` vs. `--jobs 0` (all cores).
 //!
 //! Usage: `cargo run --release -p experiments --bin bench_pipeline [-- --run-all]`
 
+use experiments::golden::golden_trial;
 use experiments::{Bench, Deployment, DeploymentSpec};
 use hand_kinematics::stroke::Stroke;
 use hand_kinematics::user::UserProfile;
@@ -62,6 +66,25 @@ fn time_batch(bench: &Bench, user: &UserProfile, threads: Option<usize>) -> f64 
     elapsed
 }
 
+/// Times decode-from-buffer + batch recognition of the golden session in
+/// one trace framing; returns (ms per replay, encoded bytes).
+fn time_trace_replay(bench: &Bench, encoded: &[u8], iters: u32) -> (f64, usize) {
+    use rfid_gen2::source::{ReportSource, TraceSource};
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut source =
+            TraceSource::from_reader(std::io::BufReader::new(encoded)).expect("readable trace");
+        let reports = source.collect_reports();
+        assert!(source.error().is_none(), "golden trace decodes");
+        let result = bench.recognizer.recognize_session(&reports);
+        std::hint::black_box(result.letter);
+    }
+    (
+        start.elapsed().as_secs_f64() / iters as f64 * 1e3,
+        encoded.len(),
+    )
+}
+
 fn time_run_all(jobs_flag: &str) -> Option<f64> {
     let exe_dir = std::env::current_exe().ok()?.parent()?.to_path_buf();
     let start = Instant::now();
@@ -100,6 +123,16 @@ fn main() {
     let serial_s = time_batch(&bench, &user, Some(1));
     let parallel_s = time_batch(&bench, &user, None);
 
+    eprintln!("timing golden-trace replay (JSON lines vs binary) …");
+    use rfid_gen2::trace::{write_trace, TraceFormat};
+    let golden = golden_trial(&bench);
+    let mut json_buf = Vec::new();
+    write_trace(&mut json_buf, TraceFormat::JsonLines, &golden.reports).expect("encode json");
+    let mut bin_buf = Vec::new();
+    write_trace(&mut bin_buf, TraceFormat::Binary, &golden.reports).expect("encode binary");
+    let (json_ms, json_bytes) = time_trace_replay(&bench, &json_buf, 20);
+    let (bin_ms, bin_bytes) = time_trace_replay(&bench, &bin_buf, 20);
+
     let run_all = if with_run_all {
         eprintln!("timing run_all quick --jobs 1 (serial) …");
         let one = time_run_all("1");
@@ -121,6 +154,10 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"stroke_batch_13\": {{ \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {batch_speedup:.2} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"trace_replay\": {{ \"reports\": {}, \"json_ms\": {json_ms:.2}, \"json_bytes\": {json_bytes}, \"binary_ms\": {bin_ms:.2}, \"binary_bytes\": {bin_bytes} }},\n",
+        golden.reports.len()
     ));
     if let Some((one, all)) = run_all {
         json.push_str(&format!(

@@ -120,7 +120,7 @@ fn main() {
     let mut asset_reads = 0usize;
     let mut assets_seen: HashSet<TagId> = HashSet::new();
     for event in &run.events {
-        for routed in dispatcher.push(event.observation) {
+        for routed in dispatcher.push(*event) {
             match routed {
                 PadEvent::Recognition { pad: p, event } => {
                     assert_eq!(p, pad);
@@ -133,7 +133,7 @@ fn main() {
                 }
             }
         }
-        if event.observation.tag.0 >= 1000 {
+        if event.tag.0 >= 1000 {
             asset_reads += 1;
         } else {
             pad_reads += 1;

@@ -50,8 +50,8 @@ fn main() {
         let obs: Vec<_> = run
             .events
             .iter()
-            .filter(|e| e.observation.tag == watched)
-            .map(|e| e.observation)
+            .filter(|e| e.tag == watched)
+            .copied()
             .collect();
         let phases: Vec<f64> = obs.iter().map(|o| o.phase).collect();
         let rss: Vec<f64> = obs.iter().map(|o| o.rss_dbm).collect();

@@ -20,9 +20,9 @@ fn main() {
 
     let mut sums: HashMap<u64, (f64, f64, usize)> = HashMap::new();
     for e in &run.events {
-        let entry = sums.entry(e.observation.tag.0).or_insert((0.0, 0.0, 0));
-        entry.0 += e.observation.phase.sin();
-        entry.1 += e.observation.phase.cos();
+        let entry = sums.entry(e.tag.0).or_insert((0.0, 0.0, 0));
+        entry.0 += e.phase.sin();
+        entry.1 += e.phase.cos();
         entry.2 += 1;
     }
     let mut points = Vec::new();

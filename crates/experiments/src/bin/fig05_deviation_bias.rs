@@ -24,9 +24,13 @@ fn main() {
     let reader = Gen2Reader::default();
     let mut rng = StdRng::seed_from_u64(5);
     let run = reader.run(&deployment.scene, &[], 0.0, 13.0, &mut rng);
-    let observations: Vec<_> = run.events.iter().map(|e| e.observation).collect();
-    let layout = ArrayLayout::from_array(&deployment.array);
-    let cal = Calibration::from_observations(&layout, &observations, &RfipadConfig::default())
+    let observations = &run.events;
+    let layout = ArrayLayout::new(
+        deployment.array.rows(),
+        deployment.array.cols(),
+        deployment.array.tags().iter().map(|t| t.id).collect(),
+    );
+    let cal = Calibration::from_observations(&layout, observations, &RfipadConfig::default())
         .expect("calibration");
 
     let mut points = Vec::new();

@@ -39,7 +39,7 @@ fn main() {
                 OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid gap");
             let mut rng = StdRng::seed_from_u64(1);
             let _ = &mut rng;
-            for obs in &trial.observations {
+            for obs in &trial.reports {
                 for event in pipeline.push(*obs) {
                     if let PipelineEvent::StrokeDetected {
                         response_time_s, ..

@@ -32,7 +32,7 @@ fn main() {
     );
 
     // RFIPad's view: per-stroke gray maps + estimated hand paths.
-    let streams = bench.recognizer.streams(&trial.observations);
+    let streams = bench.recognizer.streams(&trial.reports);
     let pad = bench.deployment.pad;
     for (i, stroke) in trial.result.strokes.iter().enumerate() {
         println!(

@@ -82,7 +82,11 @@ fn run_one(name: &'static str, reps: Option<&str>, quick: bool) -> Outcome {
         .to_path_buf();
     let mut cmd = Command::new(exe_dir.join(name));
     if let Some(r) = reps {
-        let reps_value = if quick { "3".to_string() } else { r.to_string() };
+        let reps_value = if quick {
+            "3".to_string()
+        } else {
+            r.to_string()
+        };
         cmd.arg(reps_value);
     }
     match cmd.output() {
@@ -113,13 +117,15 @@ fn main() {
     let jobs = parse_jobs().min(EXPERIMENTS.len()).max(1);
 
     if jobs > 1 {
-        println!("running {} experiments on {jobs} workers …", EXPERIMENTS.len());
+        println!(
+            "running {} experiments on {jobs} workers …",
+            EXPERIMENTS.len()
+        );
     }
 
     // Fan the roster out over `jobs` workers via an atomic cursor and store
     // results by roster index so the report order never depends on timing.
-    let slots: Vec<Mutex<Option<Outcome>>> =
-        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Outcome>>> = EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -144,7 +150,11 @@ fn main() {
 
     let outcomes: Vec<Outcome> = slots
         .into_iter()
-        .map(|s| s.into_inner().expect("slot lock").expect("worker filled slot"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
         .collect();
 
     if jobs > 1 {
@@ -161,7 +171,13 @@ fn main() {
         if quick { " (quick mode)" } else { "" }
     );
     for o in &failures {
-        let tail: String = o.detail.lines().rev().take(3).collect::<Vec<_>>().join(" | ");
+        let tail: String = o
+            .detail
+            .lines()
+            .rev()
+            .take(3)
+            .collect::<Vec<_>>()
+            .join(" | ");
         println!("  {}: {tail}", o.name);
     }
     if !failures.is_empty() {

@@ -1,0 +1,166 @@
+//! Record, inspect, and replay reader-report traces.
+//!
+//! A trace is the report stream a reader hands the recognizer — the exact
+//! boundary `rfid_gen2::report::TagReport` defines — captured to disk in
+//! either JSON-lines (`.jsonl`, greppable) or length-prefixed binary
+//! (`.rftrace`, compact) framing. Because every simulated session is
+//! seeded, a replayed trace reproduces the live recognition bit for bit;
+//! `replay` checks exactly that.
+//!
+//! Usage:
+//!   trace_tool record <out.jsonl|out.rftrace> [letter]
+//!   trace_tool inspect <trace>
+//!   trace_tool replay <trace>
+//!
+//! `record` simulates the golden session (or one writing `letter`) on the
+//! golden bench and writes the trace; the framing is picked from the file
+//! extension (`.jsonl` → JSON lines, anything else → binary). `inspect`
+//! prints a summary without recognizing. `replay` feeds the trace through
+//! the batch recognizer and the online pipeline of a freshly rebuilt
+//! golden bench and prints what they see.
+
+use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER, GOLDEN_TRIAL_SEED};
+use hand_kinematics::user::UserProfile;
+use rfid_gen2::report::TagReport;
+use rfid_gen2::source::{ReportSource, TraceSource};
+use rfid_gen2::trace::{write_trace_file, TraceFormat};
+use rfipad::{OnlinePipeline, PipelineEvent};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_tool record <out.jsonl|out.rftrace> [letter]");
+    eprintln!("       trace_tool inspect <trace>");
+    eprintln!("       trace_tool replay <trace>");
+    ExitCode::FAILURE
+}
+
+fn read_trace(path: &str) -> Result<Vec<TagReport>, String> {
+    let mut source = TraceSource::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reports = source.collect_reports();
+    if let Some(err) = source.error() {
+        return Err(format!("{path}: {err}"));
+    }
+    Ok(reports)
+}
+
+fn record(out: &str, letter: char) -> Result<(), String> {
+    let format = if out.ends_with(".jsonl") {
+        TraceFormat::JsonLines
+    } else {
+        TraceFormat::Binary
+    };
+    eprintln!("calibrating golden bench …");
+    let bench = golden_bench();
+    eprintln!("recording letter '{letter}' (seed {GOLDEN_TRIAL_SEED}) …");
+    let trial = bench.run_letter_trial(letter, &UserProfile::average(), GOLDEN_TRIAL_SEED);
+    write_trace_file(out, format, &trial.reports).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {} reports to {out} ({:?}); live recognition: {:?}",
+        trial.reports.len(),
+        format,
+        trial.result.letter
+    );
+    Ok(())
+}
+
+fn inspect(path: &str) -> Result<(), String> {
+    let reports = read_trace(path)?;
+    if reports.is_empty() {
+        println!("{path}: empty trace");
+        return Ok(());
+    }
+    let tags: BTreeSet<_> = reports.iter().map(|r| r.tag).collect();
+    let channels: BTreeSet<_> = reports.iter().map(|r| r.channel_index).collect();
+    let t0 = reports.first().expect("nonempty").time;
+    let t1 = reports.last().expect("nonempty").time;
+    println!("{path}:");
+    println!("  reports:  {}", reports.len());
+    println!("  span:     {t0:.3} .. {t1:.3} s ({:.3} s)", t1 - t0);
+    println!("  tags:     {}", tags.len());
+    println!(
+        "  rate:     {:.0} reads/s",
+        reports.len() as f64 / (t1 - t0).max(1e-9)
+    );
+    println!(
+        "  channels: {:?}{}",
+        channels,
+        if channels == BTreeSet::from([0]) {
+            " (fixed carrier)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn replay(path: &str) -> Result<(), String> {
+    let reports = read_trace(path)?;
+    eprintln!("rebuilding golden bench …");
+    let bench = golden_bench();
+
+    let result = bench.recognizer.recognize_session(&reports);
+    println!("batch replay of {} reports:", reports.len());
+    for (i, s) in result.strokes.iter().enumerate() {
+        println!(
+            "  stroke {}: {} over {:.2} .. {:.2} s",
+            i + 1,
+            s.stroke,
+            s.span.start,
+            s.span.end
+        );
+    }
+    println!("  letter: {:?}", result.letter);
+
+    let mut pipeline =
+        OnlinePipeline::new(bench.recognizer.clone(), 1.5).map_err(|e| e.to_string())?;
+    let mut online_letter = None;
+    let mut strokes = 0usize;
+    for r in &reports {
+        for event in pipeline.push(*r) {
+            match event {
+                PipelineEvent::StrokeDetected { .. } => strokes += 1,
+                PipelineEvent::LetterRecognized { letter, .. } => online_letter = letter,
+            }
+        }
+    }
+    for event in pipeline.finish() {
+        match event {
+            PipelineEvent::StrokeDetected { .. } => strokes += 1,
+            PipelineEvent::LetterRecognized { letter, .. } => online_letter = letter,
+        }
+    }
+    println!("online replay: {strokes} strokes, letter {online_letter:?}");
+
+    let live = golden_trial(&bench);
+    if reports == live.reports {
+        println!(
+            "trace matches the live golden session bit for bit ('{GOLDEN_LETTER}', {} reports)",
+            live.reports.len()
+        );
+    } else {
+        println!("note: trace differs from the golden session (custom recording?)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, out] if cmd == "record" => record(out, GOLDEN_LETTER),
+        [cmd, out, letter] if cmd == "record" => match letter.chars().next() {
+            Some(c) if letter.chars().count() == 1 => record(out, c.to_ascii_uppercase()),
+            _ => return usage(),
+        },
+        [cmd, path] if cmd == "inspect" => inspect(path),
+        [cmd, path] if cmd == "replay" => replay(path),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

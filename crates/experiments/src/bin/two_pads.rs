@@ -61,7 +61,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(21);
     let config = RfipadConfig::default();
     let static_run = bench_a.reader.run(&scene_b, &[], 0.0, 6.0, &mut rng);
-    let static_obs: Vec<_> = static_run.events.iter().map(|e| e.observation).collect();
+    let static_obs: Vec<_> = static_run.events.clone();
     let cal_b =
         Calibration::from_observations(&layout_b, &static_obs, &config).expect("pad B calibrates");
     let recognizer_b = Recognizer::new(layout_b, cal_b, config).expect("valid");
@@ -125,7 +125,7 @@ fn main() {
     let pad_b = dispatcher.register(recognizer_b, 1.8).expect("pad B");
     let mut letters = std::collections::HashMap::new();
     for e in &events {
-        for routed in dispatcher.push(e.observation) {
+        for routed in dispatcher.push(*e) {
             if let PadEvent::Recognition {
                 pad,
                 event: PipelineEvent::LetterRecognized { letter, .. },

@@ -1,0 +1,55 @@
+//! The golden session: one fixed, fully deterministic recorded writing
+//! session shared by the trace tool, the replay integration test, and the
+//! pipeline benchmark.
+//!
+//! Everything here is seeded, so rebuilding the bench and re-running the
+//! session reproduces the exact same report stream bit for bit — which is
+//! what lets a trace recorded once be checked against a live re-run.
+
+use crate::setup::{Deployment, DeploymentSpec};
+use crate::trial::{Bench, LetterTrial};
+use hand_kinematics::user::UserProfile;
+use rfipad::RfipadConfig;
+
+/// Deployment seed for the golden bench.
+pub const GOLDEN_DEPLOYMENT_SEED: u64 = 42;
+/// Calibration RNG seed for the golden bench.
+pub const GOLDEN_CALIBRATION_SEED: u64 = 1;
+/// The letter written in the golden session.
+pub const GOLDEN_LETTER: char = 'L';
+/// Trial seed for the golden session.
+pub const GOLDEN_TRIAL_SEED: u64 = 7;
+
+/// Builds the golden bench: the default deployment, calibrated.
+pub fn golden_bench() -> Bench {
+    Bench::calibrate(
+        Deployment::build(DeploymentSpec::default(), GOLDEN_DEPLOYMENT_SEED),
+        RfipadConfig::default(),
+        GOLDEN_CALIBRATION_SEED,
+    )
+}
+
+/// Runs the golden session live on a bench built by [`golden_bench`]:
+/// an average user writes [`GOLDEN_LETTER`]. The trial carries both the
+/// report stream (what a trace records) and the live recognition result
+/// (what a replay must reproduce).
+pub fn golden_trial(bench: &Bench) -> LetterTrial {
+    bench.run_letter_trial(GOLDEN_LETTER, &UserProfile::average(), GOLDEN_TRIAL_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_session_is_deterministic() {
+        let bench = golden_bench();
+        let a = golden_trial(&bench);
+        let b = golden_trial(&bench);
+        assert_eq!(a.reports.len(), b.reports.len());
+        for (x, y) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.result.letter, b.result.letter);
+    }
+}

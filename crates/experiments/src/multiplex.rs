@@ -8,7 +8,8 @@
 use rand::Rng;
 use rf_sim::scene::Scene;
 use rf_sim::targets::MovingTarget;
-use rfid_gen2::reader::{Gen2Reader, TagReadEvent};
+use rfid_gen2::reader::Gen2Reader;
+use rfid_gen2::report::TagReport;
 
 /// One multiplexed port: a scene and the moving targets present in it.
 pub struct Port<'a> {
@@ -41,7 +42,7 @@ pub fn run_multiplexed<R: Rng + ?Sized>(
     start: f64,
     duration: f64,
     rng: &mut R,
-) -> Vec<TagReadEvent> {
+) -> Vec<TagReport> {
     assert!(!ports.is_empty(), "need at least one port");
     assert!(dwell_s > 0.0, "dwell must be positive");
     let mut events = Vec::new();
@@ -55,12 +56,7 @@ pub fn run_multiplexed<R: Rng + ?Sized>(
         t += dwell_s;
         port = (port + 1) % ports.len();
     }
-    events.sort_by(|a, b| {
-        a.observation
-            .time
-            .partial_cmp(&b.observation.time)
-            .expect("finite times")
-    });
+    events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
     events
 }
 
@@ -99,12 +95,11 @@ mod tests {
         assert!(!events.is_empty());
         // Time-ordered.
         for pair in events.windows(2) {
-            assert!(pair[0].observation.time <= pair[1].observation.time);
+            assert!(pair[0].time <= pair[1].time);
         }
         // Both pads' tags appear (same ids here, but reads come from both
         // dwell phases: all 25 tags covered).
-        let unique: std::collections::HashSet<TagId> =
-            events.iter().map(|e| e.observation.tag).collect();
+        let unique: std::collections::HashSet<TagId> = events.iter().map(|e| e.tag).collect();
         assert_eq!(unique.len(), 25);
     }
 

@@ -138,7 +138,11 @@ impl Deployment {
                 ..SceneConfig::default()
             },
         );
-        let layout = ArrayLayout::from_array(&array);
+        let layout = ArrayLayout::new(
+            array.rows(),
+            array.cols(),
+            array.tags().iter().map(|t| t.id).collect(),
+        );
         let pad = PadFrame::over_array(&array, 0.03);
         Deployment {
             scene,

@@ -9,9 +9,9 @@ use hand_kinematics::writer::{Writer, WritingSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use rf_sim::scene::TagObservation;
 use rf_sim::targets::MovingTarget;
 use rfid_gen2::reader::{Gen2Reader, ReaderConfig};
+use rfid_gen2::report::TagReport;
 use rfipad::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -47,10 +47,8 @@ impl Bench {
         let reader = Gen2Reader::new(ReaderConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let run = reader.run(&deployment.scene, &[], 0.0, CALIBRATION_SECS, &mut rng);
-        let observations: Vec<TagObservation> = run.events.iter().map(|e| e.observation).collect();
-        let calibration =
-            Calibration::from_observations(&deployment.layout, &observations, &config)
-                .expect("calibration over a static scene");
+        let calibration = Calibration::from_observations(&deployment.layout, &run.events, &config)
+            .expect("calibration over a static scene");
         let recognizer =
             Recognizer::new(deployment.layout.clone(), calibration, config).expect("valid config");
         Bench {
@@ -74,13 +72,13 @@ impl Bench {
     }
 
     /// Records the reader stream for one writing session (with margins) and
-    /// returns the observations.
+    /// returns the tag reports.
     pub fn record_session<R: Rng + ?Sized>(
         &self,
         session: &WritingSession,
         user: &UserProfile,
         rng: &mut R,
-    ) -> Vec<TagObservation> {
+    ) -> Vec<TagReport> {
         let (hand, arm) = Self::targets(session, user);
         let targets: Vec<&dyn MovingTarget> = vec![&hand, &arm];
         let start = session
@@ -93,7 +91,7 @@ impl Bench {
         let run = self
             .reader
             .run(&self.deployment.scene, &targets, start, duration, rng);
-        run.events.iter().map(|e| e.observation).collect()
+        run.events
     }
 
     /// Runs one stroke trial end to end.
@@ -101,12 +99,12 @@ impl Bench {
         let writer = Writer::new(self.deployment.pad, user.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let session = writer.write_motion(stroke, 1.0, &mut rng);
-        let observations = self.record_session(&session, user, &mut rng);
-        let result = self.recognizer.recognize_session(&observations);
+        let reports = self.record_session(&session, user, &mut rng);
+        let result = self.recognizer.recognize_session(&reports);
         StrokeTrial {
             truth: stroke,
             session,
-            observations,
+            reports,
             result,
         }
     }
@@ -116,12 +114,12 @@ impl Bench {
         let writer = Writer::new(self.deployment.pad, user.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let session = writer.write_letter(letter, 1.0, &mut rng);
-        let observations = self.record_session(&session, user, &mut rng);
-        let result = self.recognizer.recognize_session(&observations);
+        let reports = self.record_session(&session, user, &mut rng);
+        let result = self.recognizer.recognize_session(&reports);
         LetterTrial {
             truth: letter,
             session,
-            observations,
+            reports,
             result,
         }
     }
@@ -146,11 +144,7 @@ impl Bench {
     /// Runs a list of `(letter, seed)` jobs across worker threads and
     /// returns the trials in input order. Same determinism contract as
     /// [`Bench::run_stroke_trials`].
-    pub fn run_letter_trials(
-        &self,
-        jobs: &[(char, u64)],
-        user: &UserProfile,
-    ) -> Vec<LetterTrial> {
+    pub fn run_letter_trials(&self, jobs: &[(char, u64)], user: &UserProfile) -> Vec<LetterTrial> {
         jobs.par_iter()
             .map(|&(letter, seed)| self.run_letter_trial(letter, user, seed))
             .collect()
@@ -164,8 +158,8 @@ pub struct StrokeTrial {
     pub truth: Stroke,
     /// The ground-truth session.
     pub session: WritingSession,
-    /// The raw reader stream of the trial.
-    pub observations: Vec<TagObservation>,
+    /// The raw reader report stream of the trial.
+    pub reports: Vec<TagReport>,
     /// What the recognizer saw.
     pub result: SessionResult,
 }
@@ -200,8 +194,8 @@ pub struct LetterTrial {
     pub truth: char,
     /// The ground-truth session.
     pub session: WritingSession,
-    /// The raw reader stream of the trial.
-    pub observations: Vec<TagObservation>,
+    /// The raw reader report stream of the trial.
+    pub reports: Vec<TagReport>,
     /// What the recognizer saw.
     pub result: SessionResult,
 }

@@ -8,7 +8,6 @@ use hand_kinematics::user::UserProfile;
 use hand_kinematics::writer::Writer;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rf_sim::geometry::Vec3;
 use rf_sim::tags::{TagArray, TagModel};
 

@@ -62,20 +62,29 @@ impl HoppingPlan {
         }
     }
 
-    /// The channel in use at time `t`.
+    /// The index (into [`HoppingPlan::channels`]) of the channel in use at
+    /// time `t` — what an LLRP reader reports as its `ChannelIndex`.
     ///
     /// # Panics
     ///
     /// Panics if the plan has no channels or a non-positive dwell.
-    pub fn channel_at(&self, t: f64) -> f64 {
+    pub fn index_at(&self, t: f64) -> usize {
         assert!(!self.channels.is_empty(), "hopping plan needs channels");
         assert!(self.dwell_s > 0.0, "dwell must be positive");
         // FCC hopping is pseudo-random; a fixed coprime stride gives the
         // same statistics deterministically.
         let slot = (t / self.dwell_s).floor() as i64;
         let n = self.channels.len() as i64;
-        let idx = (slot.rem_euclid(n) * 17).rem_euclid(n) as usize;
-        self.channels[idx]
+        (slot.rem_euclid(n) * 17).rem_euclid(n) as usize
+    }
+
+    /// The channel frequency in use at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no channels or a non-positive dwell.
+    pub fn channel_at(&self, t: f64) -> f64 {
+        self.channels[self.index_at(t)]
     }
 }
 
@@ -417,7 +426,12 @@ impl Scene {
     /// is the blockage-only sum, which also shifts the diffracted path's
     /// phase. Computed once per observation and shared by the forward-link
     /// gate, the IC margin, and the response amplitude/phase.
-    fn target_losses(&self, tag: &Tag, static_loss_db: f64, targets: &[TargetSample]) -> (f64, f64) {
+    fn target_losses(
+        &self,
+        tag: &Tag,
+        static_loss_db: f64,
+        targets: &[TargetSample],
+    ) -> (f64, f64) {
         let mut loss = static_loss_db;
         let mut obstruction = 0.0;
         for target in targets {

@@ -16,7 +16,13 @@
 //!   reader facade runs);
 //! - [`reader`] — the reader facade producing timestamped
 //!   EPC/phase/RSS/Doppler reports from a scene;
-//! - [`llrp`] — an LLRP-style wire format for the report stream.
+//! - [`report`] — [`report::TagReport`], the canonical reader-boundary
+//!   record the recognition stack consumes;
+//! - [`llrp`] — an LLRP-style wire format for the report stream;
+//! - [`trace`] — record/replay serialization of report streams (JSON lines
+//!   and length-prefixed binary);
+//! - [`source`] — the [`source::ReportSource`] abstraction over live runs
+//!   and recorded traces.
 //!
 //! # Example
 //!
@@ -59,9 +65,15 @@ pub mod link;
 pub mod llrp;
 pub mod protocol;
 pub mod reader;
+pub mod report;
+pub mod source;
+pub mod trace;
 
 pub use epc::Epc96;
 pub use inventory::{Flag, InventoryStats, QAlgorithm, SearchMode, SlotOutcome};
 pub use link::{LinkParams, TagEncoding};
 pub use protocol::{Command, Reply, Session, TagFsm, TagState, Target};
-pub use reader::{Gen2Reader, ReaderConfig, ReaderRun, TagReadEvent};
+pub use reader::{Gen2Reader, ReaderConfig, ReaderRun};
+pub use report::{TagReport, FIXED_CARRIER_CHANNEL};
+pub use source::{LiveSource, ReportSource, TraceSource};
+pub use trace::{TraceError, TraceFormat};

@@ -12,9 +12,8 @@
 //! but the parameter layout is simplified to a fixed record.
 
 use crate::epc::Epc96;
-use crate::reader::TagReadEvent;
+use crate::report::TagReport;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rf_sim::scene::TagObservation;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -28,8 +27,9 @@ pub const MSG_RO_ACCESS_REPORT: u16 = 61;
 /// tests of the framing layer).
 pub const MSG_KEEPALIVE_ACK: u16 = 72;
 
-/// Size in bytes of one encoded tag report record.
-const RECORD_LEN: usize = 12 + 2 + 2 + 2 + 2 + 8;
+/// Size in bytes of one encoded tag report record (EPC, antenna, RSSI,
+/// phase, Doppler, channel index, timestamp).
+const RECORD_LEN: usize = 12 + 2 + 2 + 2 + 2 + 2 + 8;
 
 /// Errors produced when decoding LLRP frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,25 +115,22 @@ impl LlrpMessage {
 /// Encodes a batch of tag reads as one `RO_ACCESS_REPORT` message.
 ///
 /// Per record: EPC-96 (12 B), antenna (u16), peak RSSI in centi-dBm (i16),
-/// phase in 1/4096-turn units (u16), Doppler in 1/16 Hz (i16), timestamp in
-/// microseconds (u64) — mirroring Impinj's low-level-data report fields.
-pub fn encode_report(events: &[TagReadEvent], msg_id: u32) -> Bytes {
+/// phase in 1/4096-turn units (u16), Doppler in 1/16 Hz (i16), hop-channel
+/// index (u16), timestamp in microseconds (u64) — mirroring Impinj's
+/// low-level-data report fields.
+pub fn encode_report(events: &[TagReport], msg_id: u32) -> Bytes {
     let mut payload = BytesMut::with_capacity(events.len() * RECORD_LEN);
     for e in events {
         payload.put_slice(e.epc.as_bytes());
         payload.put_u16(e.antenna_port);
-        let rssi_centi = (e.observation.rss_dbm * 100.0)
-            .round()
-            .clamp(-32768.0, 32767.0) as i16;
+        let rssi_centi = (e.rss_dbm * 100.0).round().clamp(-32768.0, 32767.0) as i16;
         payload.put_i16(rssi_centi);
-        let phase_units =
-            ((e.observation.phase / std::f64::consts::TAU) * 4096.0).round() as u16 % 4096;
+        let phase_units = ((e.phase / std::f64::consts::TAU) * 4096.0).round() as u16 % 4096;
         payload.put_u16(phase_units);
-        let doppler_units = (e.observation.doppler_hz * 16.0)
-            .round()
-            .clamp(-32768.0, 32767.0) as i16;
+        let doppler_units = (e.doppler_hz * 16.0).round().clamp(-32768.0, 32767.0) as i16;
         payload.put_i16(doppler_units);
-        let micros = (e.observation.time * 1e6).round().max(0.0) as u64;
+        payload.put_u16(e.channel_index);
+        let micros = (e.time * 1e6).round().max(0.0) as u64;
         payload.put_u64(micros);
     }
     LlrpMessage {
@@ -150,7 +147,7 @@ pub fn encode_report(events: &[TagReadEvent], msg_id: u32) -> Bytes {
 ///
 /// Returns [`DecodeError::BadLength`] if the payload is not a whole number
 /// of records.
-pub fn decode_report(msg: &LlrpMessage) -> Result<Vec<TagReadEvent>, DecodeError> {
+pub fn decode_report(msg: &LlrpMessage) -> Result<Vec<TagReport>, DecodeError> {
     if !msg.payload.len().is_multiple_of(RECORD_LEN) {
         return Err(DecodeError::BadLength(msg.payload.len()));
     }
@@ -164,18 +161,18 @@ pub fn decode_report(msg: &LlrpMessage) -> Result<Vec<TagReadEvent>, DecodeError
         let rss_dbm = buf.get_i16() as f64 / 100.0;
         let phase = buf.get_u16() as f64 / 4096.0 * std::f64::consts::TAU;
         let doppler_hz = buf.get_i16() as f64 / 16.0;
+        let channel_index = buf.get_u16();
         let time = buf.get_u64() as f64 / 1e6;
         let tag = epc.to_tag().unwrap_or(rf_sim::tags::TagId(u64::MAX));
-        events.push(TagReadEvent {
+        events.push(TagReport {
             epc,
+            tag,
+            time,
+            phase,
+            rss_dbm,
+            doppler_hz,
             antenna_port,
-            observation: TagObservation {
-                tag,
-                time,
-                phase,
-                rss_dbm,
-                doppler_hz,
-            },
+            channel_index,
         });
     }
     Ok(events)
@@ -186,17 +183,16 @@ mod tests {
     use super::*;
     use rf_sim::tags::TagId;
 
-    fn sample_event(i: u64) -> TagReadEvent {
-        TagReadEvent {
+    fn sample_event(i: u64) -> TagReport {
+        TagReport {
             epc: Epc96::for_tag(TagId(i)),
+            tag: TagId(i),
+            time: 1.5 + i as f64 * 0.001,
+            phase: 3.217,
+            rss_dbm: -41.5,
+            doppler_hz: 0.75,
             antenna_port: 1,
-            observation: TagObservation {
-                tag: TagId(i),
-                time: 1.5 + i as f64 * 0.001,
-                phase: 3.217,
-                rss_dbm: -41.5,
-                doppler_hz: 0.75,
-            },
+            channel_index: (i % 50) as u16 + 1,
         }
     }
 
@@ -249,7 +245,7 @@ mod tests {
 
     #[test]
     fn report_round_trip_preserves_fields() {
-        let events: Vec<TagReadEvent> = (0..5).map(sample_event).collect();
+        let events: Vec<TagReport> = (0..5).map(sample_event).collect();
         let bytes = encode_report(&events, 7);
         let (msg, _) = LlrpMessage::decode(&bytes).expect("decodes");
         assert_eq!(msg.msg_type, MSG_RO_ACCESS_REPORT);
@@ -258,12 +254,14 @@ mod tests {
         assert_eq!(decoded.len(), 5);
         for (orig, dec) in events.iter().zip(&decoded) {
             assert_eq!(dec.epc, orig.epc);
-            assert_eq!(dec.observation.tag, orig.observation.tag);
-            assert!((dec.observation.rss_dbm - orig.observation.rss_dbm).abs() < 0.01);
+            assert_eq!(dec.tag, orig.tag);
+            assert_eq!(dec.antenna_port, orig.antenna_port);
+            assert_eq!(dec.channel_index, orig.channel_index);
+            assert!((dec.rss_dbm - orig.rss_dbm).abs() < 0.01);
             // Phase survives to quantization resolution (2π/4096).
-            assert!((dec.observation.phase - orig.observation.phase).abs() < 0.002);
-            assert!((dec.observation.doppler_hz - orig.observation.doppler_hz).abs() < 0.07);
-            assert!((dec.observation.time - orig.observation.time).abs() < 1e-6);
+            assert!((dec.phase - orig.phase).abs() < 0.002);
+            assert!((dec.doppler_hz - orig.doppler_hz).abs() < 0.07);
+            assert!((dec.time - orig.time).abs() < 1e-6);
         }
     }
 

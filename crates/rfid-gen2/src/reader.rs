@@ -8,11 +8,11 @@
 //! (collisions, empties, Q adaptation — and therefore uneven per-tag
 //! sampling).
 
-use crate::epc::Epc96;
 use crate::inventory::{Inventory, InventoryStats, SearchMode};
 use crate::link::LinkParams;
+use crate::report::{TagReport, FIXED_CARRIER_CHANNEL};
 use rand::Rng;
-use rf_sim::scene::{Scene, TagObservation};
+use rf_sim::scene::Scene;
 use rf_sim::tags::TagId;
 use rf_sim::targets::MovingTarget;
 use serde::{Deserialize, Serialize};
@@ -46,22 +46,11 @@ impl Default for ReaderConfig {
     }
 }
 
-/// One tag report, as an LLRP client would receive it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TagReadEvent {
-    /// The backscattered EPC.
-    pub epc: Epc96,
-    /// Reader antenna port.
-    pub antenna_port: u16,
-    /// Channel measurements attached to the read.
-    pub observation: TagObservation,
-}
-
 /// The result of a reader run: the report stream plus MAC statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReaderRun {
     /// All tag reports in time order.
-    pub events: Vec<TagReadEvent>,
+    pub events: Vec<TagReport>,
     /// Inventory statistics (rounds, collisions, efficiency…).
     pub stats: InventoryStats,
 }
@@ -76,11 +65,8 @@ impl ReaderRun {
     }
 
     /// The reports for one tag, in time order.
-    pub fn events_for(&self, tag: TagId) -> Vec<&TagReadEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.observation.tag == tag)
-            .collect()
+    pub fn events_for(&self, tag: TagId) -> Vec<&TagReport> {
+        self.events.iter().filter(|e| e.tag == tag).collect()
     }
 }
 
@@ -118,7 +104,7 @@ impl Gen2Reader {
             self.config.search,
             start,
         );
-        let mut events: Vec<TagReadEvent> = Vec::new();
+        let mut events: Vec<TagReport> = Vec::new();
 
         // The powered set changes on hand-motion time scales; cache it and
         // refresh on the configured interval instead of per slot.
@@ -154,13 +140,19 @@ impl Gen2Reader {
             });
         }
 
+        let hopping = scene.config().hopping.as_ref();
         for (id, t) in read_instants {
             if let Some(observation) = scene.observe(id, t, targets, rng) {
-                events.push(TagReadEvent {
-                    epc: Epc96::for_tag(id),
-                    antenna_port: self.config.antenna_port,
-                    observation,
-                });
+                // LLRP ChannelIndex is 1-based under a hopping plan; 0 marks
+                // a fixed carrier.
+                let channel_index = hopping
+                    .map(|plan| plan.index_at(t) as u16 + 1)
+                    .unwrap_or(FIXED_CARRIER_CHANNEL);
+                events.push(TagReport::from_observation(
+                    &observation,
+                    self.config.antenna_port,
+                    channel_index,
+                ));
             }
         }
 
@@ -213,7 +205,7 @@ mod tests {
         let reader = Gen2Reader::default();
         let mut rng = StdRng::seed_from_u64(10);
         let run = reader.run(&scene(), &[], 0.0, 2.0, &mut rng);
-        let mut seen: Vec<TagId> = run.events.iter().map(|e| e.observation.tag).collect();
+        let mut seen: Vec<TagId> = run.events.iter().map(|e| e.tag).collect();
         seen.sort();
         seen.dedup();
         assert_eq!(seen.len(), 25, "all 25 tags reported");
@@ -226,12 +218,13 @@ mod tests {
         let run = reader.run(&scene(), &[], 0.5, 1.0, &mut rng);
         assert!(!run.events.is_empty());
         for pair in run.events.windows(2) {
-            assert!(pair[0].observation.time <= pair[1].observation.time);
+            assert!(pair[0].time <= pair[1].time);
         }
         for e in &run.events {
-            assert!(e.observation.time >= 0.5);
+            assert!(e.time >= 0.5);
             assert_eq!(e.antenna_port, 1);
-            assert_eq!(e.epc.to_tag(), Some(e.observation.tag));
+            assert_eq!(e.epc.to_tag(), Some(e.tag));
+            assert_eq!(e.channel_index, FIXED_CARRIER_CHANNEL);
         }
     }
 
@@ -254,10 +247,7 @@ mod tests {
         let run = reader.run(&scene(), &[], 0.0, 2.0, &mut rng);
         let events = run.events_for(TagId(12));
         assert!(events.len() > 5);
-        let gaps: Vec<f64> = events
-            .windows(2)
-            .map(|w| w[1].observation.time - w[0].observation.time)
-            .collect();
+        let gaps: Vec<f64> = events.windows(2).map(|w| w[1].time - w[0].time).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let max = gaps.iter().cloned().fold(0.0, f64::max);
         assert!(max > 1.5 * mean, "gaps too uniform: mean {mean}, max {max}");
@@ -295,6 +285,38 @@ mod tests {
             fast.events.len(),
             slow.events.len()
         );
+    }
+
+    #[test]
+    fn hopping_scene_stamps_llrp_channel_indices() {
+        use rf_sim::scene::HoppingPlan;
+        let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |id| {
+            (id.0 as f64 * 2.39) % std::f64::consts::TAU
+        });
+        let center = array.center();
+        let antenna = ReaderAntenna::new(
+            Vec3::new(center.x, center.y, -0.32),
+            Vec3::new(0.0, 0.0, 1.0),
+            Dbi(8.0),
+        );
+        let plan = HoppingPlan::fcc();
+        let scene = Scene::new(
+            antenna,
+            array.tags().to_vec(),
+            Environment::office_location(1),
+            SceneConfig {
+                hopping: Some(plan.clone()),
+                ..SceneConfig::default()
+            },
+        );
+        let reader = Gen2Reader::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        let run = reader.run(&scene, &[], 0.0, 1.0, &mut rng);
+        assert!(!run.events.is_empty());
+        for e in &run.events {
+            assert!(e.channel_index >= 1, "hopping indices are 1-based");
+            assert_eq!(e.channel_index as usize, plan.index_at(e.time) + 1);
+        }
     }
 
     #[test]

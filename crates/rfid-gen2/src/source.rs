@@ -1,0 +1,206 @@
+//! Pluggable report sources: the recognition stack pulls [`TagReport`]s
+//! from a [`ReportSource`] without knowing whether they come from a live
+//! reader run, a recorded trace, or (eventually) hardware.
+
+use crate::report::TagReport;
+use crate::trace::{
+    decode_json_line, detect_format, read_binary_record, TraceError, TraceFormat, BINARY_MAGIC,
+};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A pull-based stream of tag reports.
+///
+/// Implementations yield reports in timestamp order and return `None` when
+/// the stream is exhausted.
+pub trait ReportSource {
+    /// The next report, or `None` at end of stream.
+    fn next_report(&mut self) -> Option<TagReport>;
+
+    /// Drains the remaining reports into a vector.
+    fn collect_reports(&mut self) -> Vec<TagReport> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_report() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+/// A source backed by an in-memory report stream — typically the events of
+/// a live [`crate::reader::ReaderRun`].
+#[derive(Debug)]
+pub struct LiveSource {
+    reports: std::vec::IntoIter<TagReport>,
+}
+
+impl LiveSource {
+    /// Wraps an already-collected report stream.
+    pub fn new(reports: Vec<TagReport>) -> Self {
+        Self {
+            reports: reports.into_iter(),
+        }
+    }
+}
+
+impl From<crate::reader::ReaderRun> for LiveSource {
+    fn from(run: crate::reader::ReaderRun) -> Self {
+        Self::new(run.events)
+    }
+}
+
+impl ReportSource for LiveSource {
+    fn next_report(&mut self) -> Option<TagReport> {
+        self.reports.next()
+    }
+}
+
+enum TraceStream<R: BufRead> {
+    Json { reader: R, line_no: usize },
+    Binary(R),
+}
+
+impl<R: BufRead> std::fmt::Debug for TraceStream<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStream::Json { line_no, .. } => {
+                f.debug_struct("Json").field("line_no", line_no).finish()
+            }
+            TraceStream::Binary(_) => f.write_str("Binary"),
+        }
+    }
+}
+
+/// A source that streams reports from a recorded trace, autodetecting the
+/// framing (JSON lines or binary) from the first byte. Records are decoded
+/// lazily, so arbitrarily long traces replay in constant memory.
+#[derive(Debug)]
+pub struct TraceSource<R: BufRead = BufReader<File>> {
+    stream: TraceStream<R>,
+    error: Option<TraceError>,
+}
+
+impl TraceSource<BufReader<File>> {
+    /// Opens a trace file for streaming replay.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::from_reader(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: BufRead> TraceSource<R> {
+    /// Starts streaming from any buffered reader positioned at the start of
+    /// a trace.
+    pub fn from_reader(mut reader: R) -> Result<Self, TraceError> {
+        let first = reader.fill_buf()?;
+        let stream = if first.is_empty() {
+            // Empty trace: either framing decodes to zero reports.
+            TraceStream::Binary(reader)
+        } else {
+            match detect_format(first[0])? {
+                TraceFormat::JsonLines => TraceStream::Json { reader, line_no: 0 },
+                TraceFormat::Binary => {
+                    let mut magic = [0u8; 4];
+                    reader.read_exact(&mut magic)?;
+                    if magic != BINARY_MAGIC {
+                        return Err(TraceError::Malformed(format!("bad magic {magic:02x?}")));
+                    }
+                    TraceStream::Binary(reader)
+                }
+            }
+        };
+        Ok(Self {
+            stream,
+            error: None,
+        })
+    }
+
+    /// The decode error that terminated the stream early, if any. A fully
+    /// consumed, well-formed trace leaves this `None`.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    fn next_inner(&mut self) -> Result<Option<TagReport>, TraceError> {
+        match &mut self.stream {
+            TraceStream::Json { reader, line_no } => loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return Ok(None);
+                }
+                *line_no += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                return decode_json_line(&line, *line_no).map(Some);
+            },
+            TraceStream::Binary(reader) => read_binary_record(reader),
+        }
+    }
+}
+
+impl<R: BufRead> ReportSource for TraceSource<R> {
+    fn next_report(&mut self) -> Option<TagReport> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.next_inner() {
+            Ok(next) => next,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::write_trace;
+    use rf_sim::tags::TagId;
+
+    fn sample() -> Vec<TagReport> {
+        (0..5)
+            .map(|i| TagReport::synthetic(TagId(i), i as f64 * 0.1, 1.0 + i as f64, -45.0))
+            .collect()
+    }
+
+    #[test]
+    fn live_source_yields_in_order() {
+        let reports = sample();
+        let mut src = LiveSource::new(reports.clone());
+        assert_eq!(src.collect_reports(), reports);
+        assert!(src.next_report().is_none());
+    }
+
+    #[test]
+    fn trace_source_streams_both_framings() {
+        let reports = sample();
+        for format in [TraceFormat::JsonLines, TraceFormat::Binary] {
+            let mut buf = Vec::new();
+            write_trace(&mut buf, format, &reports).unwrap();
+            let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+            assert_eq!(src.collect_reports(), reports);
+            assert!(src.error().is_none());
+        }
+    }
+
+    #[test]
+    fn trace_source_empty_stream_is_empty() {
+        let mut src = TraceSource::from_reader(&[][..]).unwrap();
+        assert!(src.next_report().is_none());
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn trace_source_surfaces_decode_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &sample()).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+        let drained = src.collect_reports();
+        assert!(drained.len() < 5);
+        assert!(src.error().is_some());
+    }
+}

@@ -1,0 +1,440 @@
+//! Trace record/replay: serializing the report stream to disk and back.
+//!
+//! Two framings of the same [`TagReport`] stream:
+//!
+//! - **JSON lines** (`.jsonl`): one self-describing JSON object per line —
+//!   greppable, diffable, and editable. Floats are printed with Rust's
+//!   shortest round-trip formatting, so a decoded trace is bit-identical
+//!   to the recorded stream. (The workspace's offline `serde` stand-in has
+//!   no serializer, so the codec writes the JSON framing directly.)
+//! - **Binary** (`.rftrace`): a 4-byte magic (`RFT1`) followed by
+//!   length-prefixed fixed-layout records (big-endian, floats as IEEE-754
+//!   bits via the vendored `bytes` buffers) — compact and exact by
+//!   construction.
+//!
+//! [`read_trace`] autodetects the framing from the first byte, so replay
+//! tooling never needs to be told which flavour a file is.
+
+use crate::epc::Epc96;
+use crate::report::TagReport;
+use bytes::{Buf, BufMut, BytesMut};
+use rf_sim::tags::TagId;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening a binary trace file.
+pub const BINARY_MAGIC: [u8; 4] = *b"RFT1";
+
+/// Byte length of one binary record body (EPC 12 + tag 8 + four f64 fields
+/// 32 + antenna 2 + channel 2).
+pub const BINARY_RECORD_LEN: usize = 12 + 8 + 4 * 8 + 2 + 2;
+
+/// On-disk framing of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line.
+    JsonLines,
+    /// Magic header plus length-prefixed fixed-layout records.
+    Binary,
+}
+
+impl TraceFormat {
+    /// Conventional file extension for the framing.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::JsonLines => "jsonl",
+            TraceFormat::Binary => "rftrace",
+        }
+    }
+}
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed JSON line (1-based line number and reason).
+    Parse {
+        /// Line number the error was found on.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A malformed binary record or header.
+    Malformed(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error on line {line}: {reason}")
+            }
+            TraceError::Malformed(reason) => write!(f, "malformed binary trace: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Encodes one report as a JSON object (no trailing newline). Floats use
+/// Rust's shortest round-trip formatting, so decoding recovers the exact
+/// bits.
+pub fn encode_json_line(r: &TagReport) -> String {
+    let mut epc_hex = String::with_capacity(24);
+    for b in r.epc.as_bytes() {
+        epc_hex.push_str(&format!("{b:02x}"));
+    }
+    format!(
+        "{{\"epc\":\"{epc_hex}\",\"tag\":{},\"time\":{},\"phase\":{},\"rss_dbm\":{},\"doppler_hz\":{},\"antenna_port\":{},\"channel_index\":{}}}",
+        r.tag.0, r.time, r.phase, r.rss_dbm, r.doppler_hz, r.antenna_port, r.channel_index
+    )
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Decodes one JSON trace line (field order independent). `line_no` is the
+/// 1-based line number used in error messages.
+pub fn decode_json_line(line: &str, line_no: usize) -> Result<TagReport, TraceError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| parse_err(line_no, "not a JSON object"))?;
+
+    let mut epc = None;
+    let mut tag = None;
+    let mut time = None;
+    let mut phase = None;
+    let mut rss = None;
+    let mut doppler = None;
+    let mut antenna = None;
+    let mut channel = None;
+
+    // The only string field (epc) is fixed-charset hex, so splitting the
+    // object body on commas is unambiguous.
+    for field in body.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| parse_err(line_no, format!("field without ':': {field:?}")))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "epc" => {
+                let hex = value.trim_matches('"');
+                if hex.len() != 24 {
+                    return Err(parse_err(line_no, format!("EPC hex length {}", hex.len())));
+                }
+                let mut bytes = [0u8; 12];
+                for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+                    let pair = std::str::from_utf8(chunk)
+                        .map_err(|_| parse_err(line_no, "EPC not UTF-8"))?;
+                    bytes[i] = u8::from_str_radix(pair, 16)
+                        .map_err(|_| parse_err(line_no, format!("EPC hex digit {pair:?}")))?;
+                }
+                epc = Some(Epc96::from_bytes(bytes));
+            }
+            "tag" => {
+                tag =
+                    Some(TagId(value.parse().map_err(|_| {
+                        parse_err(line_no, format!("tag id {value:?}"))
+                    })?));
+            }
+            "time" | "phase" | "rss_dbm" | "doppler_hz" => {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| parse_err(line_no, format!("number {value:?} for {key}")))?;
+                match key {
+                    "time" => time = Some(v),
+                    "phase" => phase = Some(v),
+                    "rss_dbm" => rss = Some(v),
+                    _ => doppler = Some(v),
+                }
+            }
+            "antenna_port" | "channel_index" => {
+                let v: u16 = value
+                    .parse()
+                    .map_err(|_| parse_err(line_no, format!("u16 {value:?} for {key}")))?;
+                if key == "antenna_port" {
+                    antenna = Some(v);
+                } else {
+                    channel = Some(v);
+                }
+            }
+            other => return Err(parse_err(line_no, format!("unknown field {other:?}"))),
+        }
+    }
+
+    let missing = |name: &str| parse_err(line_no, format!("missing field {name:?}"));
+    Ok(TagReport {
+        epc: epc.ok_or_else(|| missing("epc"))?,
+        tag: tag.ok_or_else(|| missing("tag"))?,
+        time: time.ok_or_else(|| missing("time"))?,
+        phase: phase.ok_or_else(|| missing("phase"))?,
+        rss_dbm: rss.ok_or_else(|| missing("rss_dbm"))?,
+        doppler_hz: doppler.ok_or_else(|| missing("doppler_hz"))?,
+        antenna_port: antenna.ok_or_else(|| missing("antenna_port"))?,
+        channel_index: channel.ok_or_else(|| missing("channel_index"))?,
+    })
+}
+
+/// Encodes one report as a length-prefixed binary record.
+pub fn encode_binary_record(r: &TagReport) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4 + BINARY_RECORD_LEN);
+    buf.put_u32(BINARY_RECORD_LEN as u32);
+    buf.put_slice(r.epc.as_bytes());
+    buf.put_u64(r.tag.0);
+    buf.put_u64(r.time.to_bits());
+    buf.put_u64(r.phase.to_bits());
+    buf.put_u64(r.rss_dbm.to_bits());
+    buf.put_u64(r.doppler_hz.to_bits());
+    buf.put_u16(r.antenna_port);
+    buf.put_u16(r.channel_index);
+    buf.to_vec()
+}
+
+/// Reads one length-prefixed binary record, or `None` at a clean
+/// end-of-stream.
+pub fn read_binary_record<R: Read>(reader: &mut R) -> Result<Option<TagReport>, TraceError> {
+    let mut len_bytes = [0u8; 4];
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len != BINARY_RECORD_LEN {
+        return Err(TraceError::Malformed(format!(
+            "record length {len}, expected {BINARY_RECORD_LEN}"
+        )));
+    }
+    let mut record = vec![0u8; len];
+    reader.read_exact(&mut record)?;
+    let mut buf: &[u8] = &record;
+    let mut epc = [0u8; 12];
+    buf.copy_to_slice(&mut epc);
+    Ok(Some(TagReport {
+        epc: Epc96::from_bytes(epc),
+        tag: TagId(buf.get_u64()),
+        time: f64::from_bits(buf.get_u64()),
+        phase: f64::from_bits(buf.get_u64()),
+        rss_dbm: f64::from_bits(buf.get_u64()),
+        doppler_hz: f64::from_bits(buf.get_u64()),
+        antenna_port: buf.get_u16(),
+        channel_index: buf.get_u16(),
+    }))
+}
+
+/// Writes a complete trace in the given framing.
+pub fn write_trace<W: Write>(
+    writer: &mut W,
+    format: TraceFormat,
+    reports: &[TagReport],
+) -> Result<(), TraceError> {
+    match format {
+        TraceFormat::JsonLines => {
+            for r in reports {
+                writer.write_all(encode_json_line(r).as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+        }
+        TraceFormat::Binary => {
+            writer.write_all(&BINARY_MAGIC)?;
+            for r in reports {
+                writer.write_all(&encode_binary_record(r))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a complete trace file in the given framing.
+pub fn write_trace_file(
+    path: impl AsRef<Path>,
+    format: TraceFormat,
+    reports: &[TagReport],
+) -> Result<(), TraceError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_trace(&mut writer, format, reports)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Detects the framing from the first byte of a stream: `{` opens a JSON
+/// line, `R` opens the binary magic.
+pub fn detect_format(first_byte: u8) -> Result<TraceFormat, TraceError> {
+    match first_byte {
+        b'{' => Ok(TraceFormat::JsonLines),
+        b'R' => Ok(TraceFormat::Binary),
+        other => Err(TraceError::Malformed(format!(
+            "unrecognized first byte 0x{other:02x} (neither JSON-lines nor binary trace)"
+        ))),
+    }
+}
+
+/// Reads a complete trace from a buffered stream, autodetecting the
+/// framing.
+pub fn read_trace<R: BufRead>(reader: &mut R) -> Result<Vec<TagReport>, TraceError> {
+    let first = reader.fill_buf()?;
+    if first.is_empty() {
+        return Ok(Vec::new());
+    }
+    match detect_format(first[0])? {
+        TraceFormat::JsonLines => {
+            let mut reports = Vec::new();
+            for (i, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                reports.push(decode_json_line(&line, i + 1)?);
+            }
+            Ok(reports)
+        }
+        TraceFormat::Binary => {
+            let mut magic = [0u8; 4];
+            reader.read_exact(&mut magic)?;
+            if magic != BINARY_MAGIC {
+                return Err(TraceError::Malformed(format!("bad magic {magic:02x?}")));
+            }
+            let mut reports = Vec::new();
+            while let Some(r) = read_binary_record(reader)? {
+                reports.push(r);
+            }
+            Ok(reports)
+        }
+    }
+}
+
+/// Reads a complete trace file, autodetecting the framing.
+pub fn read_trace_file(path: impl AsRef<Path>) -> Result<Vec<TagReport>, TraceError> {
+    read_trace(&mut BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_reports() -> Vec<TagReport> {
+        (0..7)
+            .map(|i| TagReport {
+                epc: Epc96::for_tag(TagId(i)),
+                tag: TagId(i),
+                time: 0.1 + i as f64 * 0.0123456789,
+                phase: (i as f64 * 1.7).rem_euclid(std::f64::consts::TAU),
+                rss_dbm: -45.5 + i as f64 * 0.5,
+                doppler_hz: -0.75 + i as f64 * 0.3,
+                antenna_port: 1 + (i % 4) as u16,
+                channel_index: (i % 50) as u16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_lines_round_trip_is_bit_exact() {
+        let reports = sample_reports();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::JsonLines, &reports).unwrap();
+        let decoded = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded.len(), reports.len());
+        for (orig, dec) in reports.iter().zip(&decoded) {
+            assert_eq!(orig, dec);
+            assert_eq!(orig.time.to_bits(), dec.time.to_bits());
+            assert_eq!(orig.phase.to_bits(), dec.phase.to_bits());
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let reports = sample_reports();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &reports).unwrap();
+        assert_eq!(&buf[..4], &BINARY_MAGIC);
+        assert_eq!(buf.len(), 4 + reports.len() * (4 + BINARY_RECORD_LEN));
+        let decoded = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, reports);
+    }
+
+    #[test]
+    fn format_is_autodetected() {
+        let reports = sample_reports();
+        for format in [TraceFormat::JsonLines, TraceFormat::Binary] {
+            let mut buf = Vec::new();
+            write_trace(&mut buf, format, &reports).unwrap();
+            assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), reports);
+        }
+    }
+
+    #[test]
+    fn empty_trace_reads_empty() {
+        assert!(read_trace(&mut (&[] as &[u8])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_first_byte_rejected() {
+        let mut data: &[u8] = b"\x00\x01\x02";
+        assert!(matches!(
+            read_trace(&mut data),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_binary_record_rejected() {
+        let reports = sample_reports();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &reports).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn malformed_json_line_reports_line_number() {
+        let mut data: &[u8] = b"{\"epc\":\"00\"}\n";
+        match read_trace(&mut data) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let r = TagReport::synthetic(TagId(3), 1.5, 2.0, -44.0);
+        let line = encode_json_line(&r);
+        // Reverse the field order by hand.
+        let body = line
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .split(',')
+            .rev()
+            .collect::<Vec<_>>()
+            .join(",");
+        let reordered = format!("{{{body}}}");
+        assert_eq!(decode_json_line(&reordered, 1).unwrap(), r);
+    }
+
+    #[test]
+    fn extreme_floats_survive_json() {
+        let mut r = TagReport::synthetic(TagId(1), 0.1 + 0.2, 1e-15, -45.0);
+        r.doppler_hz = -0.0;
+        let line = encode_json_line(&r);
+        let dec = decode_json_line(&line, 1).unwrap();
+        assert_eq!(dec.time.to_bits(), r.time.to_bits());
+        assert_eq!(dec.phase.to_bits(), r.phase.to_bits());
+        assert_eq!(dec.doppler_hz.to_bits(), r.doppler_hz.to_bits());
+    }
+}

@@ -12,12 +12,13 @@ use crate::calibration::Calibration;
 use crate::error::RfipadError;
 use crate::layout::ArrayLayout;
 use crate::streams::TagStreams;
+use rfid_gen2::report::TagId;
 use sigproc::grid::GridImage;
 
 /// Accumulative (weighted) phase difference for one tag over `[start, end)`.
 ///
 /// Returns 0.0 for a tag with fewer than two samples in the span.
-pub fn accumulate_tag(streams: &TagStreams, id: rf_sim::tags::TagId, start: f64, end: f64) -> f64 {
+pub fn accumulate_tag(streams: &TagStreams, id: TagId, start: f64, end: f64) -> f64 {
     accumulate_tag_denoised(streams, id, start, end, 0.0)
 }
 
@@ -30,7 +31,7 @@ pub fn accumulate_tag(streams: &TagStreams, id: rf_sim::tags::TagId, start: f64,
 /// sharpening the gray image's foreground/background contrast before Otsu.
 pub fn accumulate_tag_denoised(
     streams: &TagStreams,
-    id: rf_sim::tags::TagId,
+    id: TagId,
     start: f64,
     end: f64,
     noise_sigma: f64,
@@ -87,26 +88,19 @@ pub fn accumulative_image(
 mod tests {
     use super::*;
     use crate::config::RfipadConfig;
-    use rf_sim::scene::TagObservation;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::TagReport;
     use std::f64::consts::TAU;
 
     fn layout() -> ArrayLayout {
         ArrayLayout::new(1, 3, vec![TagId(0), TagId(1), TagId(2)])
     }
 
-    fn obs(tag: TagId, time: f64, phase: f64) -> TagObservation {
-        TagObservation {
-            tag,
-            time,
-            phase: phase.rem_euclid(TAU),
-            rss_dbm: -45.0,
-            doppler_hz: 0.0,
-        }
+    fn obs(tag: TagId, time: f64, phase: f64) -> TagReport {
+        TagReport::synthetic(tag, time, phase.rem_euclid(TAU), -45.0)
     }
 
     /// Tag 1 wiggles strongly, tags 0/2 are quiet.
-    fn wiggle_observations() -> Vec<TagObservation> {
+    fn wiggle_observations() -> Vec<TagReport> {
         let mut out = Vec::new();
         for j in 0..50 {
             let t = j as f64 * 0.05;

@@ -17,8 +17,7 @@
 use crate::config::RfipadConfig;
 use crate::error::RfipadError;
 use crate::layout::ArrayLayout;
-use rf_sim::scene::TagObservation;
-use rf_sim::tags::TagId;
+use rfid_gen2::report::{TagId, TagReport};
 use serde::{Deserialize, Serialize};
 use sigproc::frames::FrameSeq;
 use sigproc::series::TimeSeries;
@@ -34,7 +33,7 @@ pub const MIN_SAMPLES_PER_TAG: usize = 10;
 /// below its quantization step (≈ 0.0015 rad), so no tag's measured bias is
 /// meaningful below it. Without this floor, near-noiseless calibrations
 /// would turn floating-point dust into enormous weight swings.
-pub const MIN_DEVIATION_BIAS: f64 = rf_sim::noise::PHASE_STEP;
+pub const MIN_DEVIATION_BIAS: f64 = rfid_gen2::report::PHASE_STEP;
 
 /// Wraps a phase difference into `(-π, π]`.
 pub fn wrap_to_pi(phase: f64) -> f64 {
@@ -105,7 +104,7 @@ impl Calibration {
     ///   fewer than [`MIN_SAMPLES_PER_TAG`] samples.
     pub fn from_observations(
         layout: &ArrayLayout,
-        observations: &[TagObservation],
+        observations: &[TagReport],
         config: &RfipadConfig,
     ) -> Result<Self, RfipadError> {
         if observations.is_empty() {
@@ -166,7 +165,7 @@ impl Calibration {
     fn compute_static_floors(
         layout: &ArrayLayout,
         per_tag: &HashMap<TagId, TagCalibration>,
-        observations: &[TagObservation],
+        observations: &[TagReport],
         config: &RfipadConfig,
     ) -> (f64, f64) {
         let mut streams: HashMap<TagId, TimeSeries> = HashMap::new();
@@ -298,14 +297,15 @@ mod tests {
         ArrayLayout::new(1, 2, vec![TagId(0), TagId(1)])
     }
 
-    fn static_obs(tag: TagId, base_phase: f64, jitter: f64, n: usize) -> Vec<TagObservation> {
+    fn static_obs(tag: TagId, base_phase: f64, jitter: f64, n: usize) -> Vec<TagReport> {
         (0..n)
-            .map(|j| TagObservation {
-                tag,
-                time: j as f64 * 0.05,
-                phase: (base_phase + jitter * ((j as f64 * 2.399).sin())).rem_euclid(TAU),
-                rss_dbm: -45.0,
-                doppler_hz: 0.0,
+            .map(|j| {
+                TagReport::synthetic(
+                    tag,
+                    j as f64 * 0.05,
+                    (base_phase + jitter * ((j as f64 * 2.399).sin())).rem_euclid(TAU),
+                    -45.0,
+                )
             })
             .collect()
     }

@@ -232,8 +232,7 @@ fn canonical_velocity(shape: StrokeShape) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rf_sim::scene::TagObservation;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::{TagId, TagReport};
     use sigproc::grid::BinaryGrid;
 
     fn layout() -> ArrayLayout {
@@ -256,13 +255,7 @@ mod tests {
                     0.8 + 0.4 * r as f64
                 };
                 let dip = -8.0 * (-(t - cross) * (t - cross) / 0.02).exp();
-                observations.push(TagObservation {
-                    tag: id,
-                    time: t,
-                    phase: 1.0,
-                    rss_dbm: -45.0 + dip,
-                    doppler_hz: 0.0,
-                });
+                observations.push(TagReport::synthetic(id, t, 1.0, -45.0 + dip));
             }
         }
         TagStreams::build(&l, None, &observations)
@@ -333,16 +326,10 @@ mod tests {
     fn no_troughs_defaults_to_canonical() {
         // Flat RSS: no troughs anywhere.
         let l = layout();
-        let observations: Vec<TagObservation> = (0..100)
+        let observations: Vec<TagReport> = (0..100)
             .flat_map(|step| {
                 let t = step as f64 * 0.04;
-                (0..25).map(move |i| TagObservation {
-                    tag: TagId(i),
-                    time: t,
-                    phase: 1.0,
-                    rss_dbm: -45.0,
-                    doppler_hz: 0.0,
-                })
+                (0..25).map(move |i| TagReport::synthetic(TagId(i), t, 1.0, -45.0))
             })
             .collect();
         let streams = TagStreams::build(&l, None, &observations);

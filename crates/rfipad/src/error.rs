@@ -1,6 +1,6 @@
 //! Error types for the RFIPad pipeline.
 
-use rf_sim::tags::TagId;
+use rfid_gen2::report::TagId;
 use std::fmt;
 
 /// Errors surfaced by the RFIPad recognition pipeline.

@@ -1,13 +1,14 @@
 //! The logical tag-array layout: tag ids ↔ grid positions.
 
 use crate::error::RfipadError;
-use rf_sim::tags::{TagArray, TagId};
+use rfid_gen2::report::TagId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The recognizer's view of the tag plate: which tag sits at which grid
-/// cell. Decoupled from the physical [`TagArray`] so the pipeline can run
-/// from recorded LLRP streams without a simulator present.
+/// cell. Purely logical (ids and grid positions only) so the pipeline can
+/// run from recorded LLRP streams without a simulator present; deployments
+/// that do simulate build one from the physical array's row-major ids.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrayLayout {
     rows: usize,
@@ -37,15 +38,6 @@ impl ArrayLayout {
             cells,
             index,
         }
-    }
-
-    /// Derives the layout from a physical array.
-    pub fn from_array(array: &TagArray) -> Self {
-        Self::new(
-            array.rows(),
-            array.cols(),
-            array.tags().iter().map(|t| t.id).collect(),
-        )
     }
 
     /// Number of rows.
@@ -104,8 +96,6 @@ impl ArrayLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rf_sim::geometry::Vec3;
-    use rf_sim::tags::TagModel;
 
     fn layout() -> ArrayLayout {
         ArrayLayout::new(2, 3, (0..6).map(TagId).collect())
@@ -133,19 +123,6 @@ mod tests {
     #[should_panic(expected = "duplicate tag id")]
     fn duplicate_ids_rejected() {
         ArrayLayout::new(1, 2, vec![TagId(1), TagId(1)]);
-    }
-
-    #[test]
-    fn from_array_matches_physical_layout() {
-        let array = TagArray::grid(5, 5, 0.06, Vec3::ZERO, TagModel::TypeB, |_| 0.0);
-        let l = ArrayLayout::from_array(&array);
-        assert_eq!(l.rows(), 5);
-        assert_eq!(l.cols(), 5);
-        for r in 0..5 {
-            for c in 0..5 {
-                assert_eq!(l.position(array.at(r, c).id).unwrap(), (r, c));
-            }
-        }
     }
 
     #[test]

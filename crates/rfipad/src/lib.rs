@@ -32,20 +32,18 @@
 //!
 //! ```
 //! use rfipad::prelude::*;
-//! use rf_sim::scene::TagObservation;
-//! use rf_sim::tags::TagId;
+//! use rfid_gen2::report::{TagId, TagReport};
 //!
 //! // A 1×3 pad, calibrated from synthetic static reads.
 //! let layout = ArrayLayout::new(1, 3, vec![TagId(0), TagId(1), TagId(2)]);
 //! let config = RfipadConfig::default();
-//! let static_obs: Vec<TagObservation> = (0..40)
-//!     .flat_map(|j| (0..3).map(move |i| TagObservation {
-//!         tag: TagId(i),
-//!         time: j as f64 * 0.05 + i as f64 * 0.01,
-//!         phase: 1.0 + i as f64,
-//!         rss_dbm: -45.0,
-//!         doppler_hz: 0.0,
-//!     }))
+//! let static_obs: Vec<TagReport> = (0..40)
+//!     .flat_map(|j| (0..3).map(move |i| TagReport::synthetic(
+//!         TagId(i),
+//!         j as f64 * 0.05 + i as f64 * 0.01,
+//!         1.0 + i as f64,
+//!         -45.0,
+//!     )))
 //!     .collect();
 //! let calibration = Calibration::from_observations(&layout, &static_obs, &config)?;
 //! let recognizer = Recognizer::new(layout, calibration, config)?;

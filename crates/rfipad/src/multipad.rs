@@ -11,8 +11,7 @@
 use crate::error::RfipadError;
 use crate::pipeline::{OnlinePipeline, PipelineEvent};
 use crate::recognizer::Recognizer;
-use rf_sim::scene::TagObservation;
-use rf_sim::tags::TagId;
+use rfid_gen2::report::{TagId, TagReport};
 use std::collections::HashMap;
 
 /// An event from the multi-pad dispatcher.
@@ -27,7 +26,7 @@ pub enum PadEvent {
     },
     /// A read from a tag belonging to no pad — the reader's "regular
     /// application" traffic (asset identification, tracking…).
-    Unassigned(TagObservation),
+    Unassigned(TagReport),
 }
 
 /// Identifies one registered pad.
@@ -89,7 +88,7 @@ impl PadDispatcher {
     }
 
     /// Feeds one observation from the shared reader stream.
-    pub fn push(&mut self, obs: TagObservation) -> Vec<PadEvent> {
+    pub fn push(&mut self, obs: TagReport) -> Vec<PadEvent> {
         match self.routing.get(&obs.tag) {
             Some(&handle) => self.pads[handle.0]
                 .push(obs)
@@ -130,19 +129,18 @@ mod tests {
     use crate::config::RfipadConfig;
     use crate::layout::ArrayLayout;
 
-    fn obs(tag: u64, time: f64, phase: f64) -> TagObservation {
-        TagObservation {
-            tag: TagId(tag),
+    fn obs(tag: u64, time: f64, phase: f64) -> TagReport {
+        TagReport::synthetic(
+            TagId(tag),
             time,
-            phase: phase.rem_euclid(std::f64::consts::TAU),
-            rss_dbm: -45.0,
-            doppler_hz: 0.0,
-        }
+            phase.rem_euclid(std::f64::consts::TAU),
+            -45.0,
+        )
     }
 
     fn recognizer_for(ids: std::ops::Range<u64>) -> Recognizer {
         let layout = ArrayLayout::new(1, 3, ids.clone().map(TagId).collect());
-        let static_obs: Vec<TagObservation> = (0..40)
+        let static_obs: Vec<TagReport> = (0..40)
             .flat_map(|j| {
                 ids.clone()
                     .enumerate()

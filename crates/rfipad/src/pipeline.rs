@@ -12,7 +12,7 @@
 
 use crate::error::RfipadError;
 use crate::recognizer::{RecognizedStroke, Recognizer};
-use rf_sim::scene::TagObservation;
+use rfid_gen2::report::TagReport;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -52,7 +52,7 @@ const MAX_BUFFER_S: f64 = 30.0;
 #[derive(Debug)]
 pub struct OnlinePipeline {
     recognizer: Recognizer,
-    buffer: Vec<TagObservation>,
+    buffer: Vec<TagReport>,
     /// Spans already reported (by their start time).
     reported_spans: Vec<f64>,
     pending_strokes: Vec<RecognizedStroke>,
@@ -95,10 +95,10 @@ impl OnlinePipeline {
         &self.recognizer
     }
 
-    /// Feeds one observation; returns any events it triggered.
+    /// Feeds one tag report; returns any events it triggered.
     ///
-    /// Observations must arrive in time order (the reader stream is).
-    pub fn push(&mut self, obs: TagObservation) -> Vec<PipelineEvent> {
+    /// Reports must arrive in time order (the reader stream is).
+    pub fn push(&mut self, obs: TagReport) -> Vec<PipelineEvent> {
         let now = obs.time;
         self.buffer.push(obs);
         // Bound the history: drop everything older than the retention
@@ -116,6 +116,9 @@ impl OnlinePipeline {
             .unwrap_or(false)
         {
             self.buffer.retain(|o| o.time >= keep_from);
+            // Spans older than the retained history can never re-segment,
+            // so their dedup entries are dead weight — drop them too.
+            self.reported_spans.retain(|&s| s >= keep_from);
         }
         // Re-evaluate once per frame, not per read.
         if now - self.last_processed < self.recognizer.config().frame_len_s {
@@ -210,7 +213,7 @@ impl OnlinePipeline {
 /// input channel closes, flushing pending state first.
 pub fn spawn(
     mut pipeline: OnlinePipeline,
-    input: crossbeam::channel::Receiver<TagObservation>,
+    input: crossbeam::channel::Receiver<TagReport>,
 ) -> (
     std::thread::JoinHandle<()>,
     crossbeam::channel::Receiver<PipelineEvent>,
@@ -239,26 +242,20 @@ mod tests {
     use crate::calibration::Calibration;
     use crate::config::RfipadConfig;
     use crate::layout::ArrayLayout;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::TagId;
     use std::f64::consts::TAU;
 
     fn layout() -> ArrayLayout {
         ArrayLayout::new(5, 5, (0..25).map(TagId).collect())
     }
 
-    fn obs(tag: TagId, time: f64, phase: f64, rss: f64) -> TagObservation {
-        TagObservation {
-            tag,
-            time,
-            phase: phase.rem_euclid(TAU),
-            rss_dbm: rss,
-            doppler_hz: 0.0,
-        }
+    fn obs(tag: TagId, time: f64, phase: f64, rss: f64) -> TagReport {
+        TagReport::synthetic(tag, time, phase.rem_euclid(TAU), rss)
     }
 
     /// Recording with a column-2 downward sweep during [2, 4) and silence
     /// until 7 s.
-    fn recording() -> Vec<TagObservation> {
+    fn recording() -> Vec<TagReport> {
         let l = layout();
         let mut out = Vec::new();
         for step in 0..350 {
@@ -292,7 +289,7 @@ mod tests {
 
     fn pipeline() -> OnlinePipeline {
         let l = layout();
-        let static_part: Vec<TagObservation> =
+        let static_part: Vec<TagReport> =
             recording().into_iter().filter(|o| o.time < 2.0).collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&l, &static_part, &config).unwrap();
@@ -415,28 +412,47 @@ mod buffer_tests {
     use crate::calibration::Calibration;
     use crate::config::RfipadConfig;
     use crate::layout::ArrayLayout;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::TagId;
 
-    fn quiet_obs(tag: u64, time: f64) -> TagObservation {
-        TagObservation {
-            tag: TagId(tag),
-            time,
-            phase: 1.0 + tag as f64,
-            rss_dbm: -45.0,
-            doppler_hz: 0.0,
-        }
+    fn quiet_obs(tag: u64, time: f64) -> TagReport {
+        TagReport::synthetic(TagId(tag), time, 1.0 + tag as f64, -45.0)
     }
 
-    #[test]
-    fn buffer_stays_bounded_over_long_quiet_runs() {
+    fn quiet_pipeline(letter_gap_s: f64) -> OnlinePipeline {
         let layout = ArrayLayout::new(1, 3, (0..3).map(TagId).collect());
-        let static_obs: Vec<TagObservation> = (0..40)
+        let static_obs: Vec<TagReport> = (0..40)
             .flat_map(|j| (0..3).map(move |i| quiet_obs(i, j as f64 * 0.05 + i as f64 * 0.01)))
             .collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&layout, &static_obs, &config).unwrap();
         let rec = Recognizer::new(layout, cal, config).unwrap();
-        let mut pipeline = OnlinePipeline::new(rec, 1.5).unwrap();
+        OnlinePipeline::new(rec, letter_gap_s).unwrap()
+    }
+
+    /// A hand-built pending stroke, for exercising the retention logic
+    /// without driving a full recognition.
+    fn fake_stroke(start: f64, end: f64) -> RecognizedStroke {
+        use crate::motion::RecognizedMotion;
+        use crate::segmentation::StrokeSpan;
+        use hand_kinematics::stroke::{Stroke, StrokeShape};
+        use sigproc::grid::BinaryGrid;
+        let mut mask = BinaryGrid::empty(1, 3);
+        mask.set(0, 1, true);
+        RecognizedStroke {
+            stroke: Stroke::new(StrokeShape::Click),
+            span: StrokeSpan { start, end },
+            motion: RecognizedMotion {
+                shape: StrokeShape::Click,
+                mask,
+                centroid: (0.0, 1.0),
+                bbox: (0, 1, 0, 1),
+            },
+        }
+    }
+
+    #[test]
+    fn buffer_stays_bounded_over_long_quiet_runs() {
+        let mut pipeline = quiet_pipeline(1.5);
 
         // Two simulated minutes of quiet traffic at ~60 reads/s (enough
         // to overflow an unbounded buffer four times over).
@@ -454,5 +470,67 @@ mod buffer_tests {
             pipeline.buffer.len()
         );
         assert!(max_len < 2_800, "peak buffer {}", max_len);
+    }
+    #[test]
+    fn trimming_drops_history_older_than_window() {
+        let mut pipeline = quiet_pipeline(1.5);
+        // One simulated minute of quiet traffic: the window is 30 s, so
+        // the earliest reads must be long gone by the end.
+        let mut last_t = 0.0;
+        for step in 0..3_600u64 {
+            last_t = step as f64 / 60.0;
+            pipeline.push(quiet_obs(step % 3, last_t));
+        }
+        let first = pipeline.buffer.first().expect("buffer non-empty").time;
+        assert!(first > 2.0, "old history survived: first read at {first}");
+        // Nothing older than the window plus the trim hysteresis remains.
+        assert!(
+            first >= last_t - MAX_BUFFER_S - 5.0 - 1e-9,
+            "first {first} vs now {last_t}"
+        );
+    }
+
+    #[test]
+    fn pending_letter_holds_history_past_the_window() {
+        // A letter gap far longer than the run keeps the stroke pending
+        // throughout; its history must survive even past MAX_BUFFER_S.
+        let mut pipeline = quiet_pipeline(1_000.0);
+        pipeline.pending_strokes.push(fake_stroke(2.0, 3.0));
+        let mut last_t = 0.0;
+        for step in 0..2_400u64 {
+            last_t = step as f64 / 60.0;
+            pipeline.push(quiet_obs(step % 3, last_t));
+        }
+        assert!(last_t > MAX_BUFFER_S + 5.0, "run long enough to trim");
+        let first = pipeline.buffer.first().expect("buffer non-empty").time;
+        // Retention is anchored 1 s before the pending stroke, not at the
+        // rolling window edge.
+        assert!(
+            first <= 2.0,
+            "pending letter history trimmed: first {first}"
+        );
+        assert!(!pipeline.pending_strokes.is_empty());
+    }
+
+    #[test]
+    fn reported_spans_trimmed_with_buffer() {
+        let mut pipeline = quiet_pipeline(1.5);
+        // Simulate spans reported early in a run whose letter never closed
+        // (e.g. unclassifiable blips): their dedup entries must not leak.
+        pipeline.reported_spans.push(1.0);
+        pipeline.reported_spans.push(2.5);
+        let mut last_t = 0.0;
+        for step in 0..3_600u64 {
+            last_t = step as f64 / 60.0;
+            pipeline.push(quiet_obs(step % 3, last_t));
+        }
+        assert!(
+            pipeline
+                .reported_spans
+                .iter()
+                .all(|&s| s >= last_t - MAX_BUFFER_S - 5.0),
+            "stale reported spans retained: {:?}",
+            pipeline.reported_spans
+        );
     }
 }

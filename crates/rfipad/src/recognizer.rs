@@ -11,7 +11,7 @@ use crate::motion::{MotionRecognizer, RecognizedMotion};
 use crate::segmentation::{Segmentation, Segmenter, StrokeSpan};
 use crate::streams::TagStreams;
 use hand_kinematics::stroke::Stroke;
-use rf_sim::scene::TagObservation;
+use rfid_gen2::report::TagReport;
 use serde::{Deserialize, Serialize};
 
 /// One fully recognized stroke.
@@ -109,7 +109,7 @@ impl Recognizer {
     /// ablation instead disables the Eq. 9–10 weighting and noise-floor
     /// correction of the accumulative image (the paper's Fig. 7(a) vs
     /// 7(b) comparison).
-    pub fn streams(&self, observations: &[TagObservation]) -> TagStreams {
+    pub fn streams(&self, observations: &[TagReport]) -> TagStreams {
         TagStreams::build(&self.layout, Some(&self.calibration), observations)
     }
 
@@ -277,7 +277,7 @@ impl Recognizer {
 
     /// Runs the full pipeline on a recording: segmentation, per-span motion
     /// and direction recognition, then grammar-based letter deduction.
-    pub fn recognize_session(&self, observations: &[TagObservation]) -> SessionResult {
+    pub fn recognize_session(&self, observations: &[TagReport]) -> SessionResult {
         let streams = self.streams(observations);
         let segmentation = self
             .segmenter
@@ -308,27 +308,21 @@ impl Recognizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::TagId;
     use std::f64::consts::TAU;
 
     fn layout() -> ArrayLayout {
         ArrayLayout::new(5, 5, (0..25).map(TagId).collect())
     }
 
-    fn obs(tag: TagId, time: f64, phase: f64, rss: f64) -> TagObservation {
-        TagObservation {
-            tag,
-            time,
-            phase: phase.rem_euclid(TAU),
-            rss_dbm: rss,
-            doppler_hz: 0.0,
-        }
+    fn obs(tag: TagId, time: f64, phase: f64, rss: f64) -> TagReport {
+        TagReport::synthetic(tag, time, phase.rem_euclid(TAU), rss)
     }
 
     /// Synthetic recording: static 0–2 s, then the hand sweeps down column
     /// 2 during 2–4 s (phases of column-2 tags wiggle in sequence and their
     /// RSS dips in row order), then static 4–5 s.
-    fn column_sweep_recording() -> Vec<TagObservation> {
+    fn column_sweep_recording() -> Vec<TagReport> {
         let l = layout();
         let mut out = Vec::new();
         for step in 0..250 {
@@ -365,7 +359,7 @@ mod tests {
         let l = layout();
         // Calibrate on the static prefix.
         let recording = column_sweep_recording();
-        let static_part: Vec<TagObservation> =
+        let static_part: Vec<TagReport> =
             recording.iter().filter(|o| o.time < 2.0).copied().collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&l, &static_part, &config).expect("calibration");
@@ -400,7 +394,7 @@ mod tests {
     #[test]
     fn static_recording_recognizes_nothing() {
         let rec = recognizer();
-        let recording: Vec<TagObservation> = column_sweep_recording()
+        let recording: Vec<TagReport> = column_sweep_recording()
             .into_iter()
             .filter(|o| o.time < 2.0)
             .collect();

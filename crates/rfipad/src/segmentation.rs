@@ -227,22 +227,15 @@ impl Segmenter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rf_sim::scene::TagObservation;
-    use rf_sim::tags::TagId;
+    use rfid_gen2::report::{TagId, TagReport};
     use std::f64::consts::TAU;
 
     fn layout() -> ArrayLayout {
         ArrayLayout::new(1, 3, vec![TagId(0), TagId(1), TagId(2)])
     }
 
-    fn obs(tag: TagId, time: f64, phase: f64) -> TagObservation {
-        TagObservation {
-            tag,
-            time,
-            phase: phase.rem_euclid(TAU),
-            rss_dbm: -45.0,
-            doppler_hz: 0.0,
-        }
+    fn obs(tag: TagId, time: f64, phase: f64) -> TagReport {
+        TagReport::synthetic(tag, time, phase.rem_euclid(TAU), -45.0)
     }
 
     /// Streams quiet except for phase wiggles during [2, 3.5) and [5, 6).

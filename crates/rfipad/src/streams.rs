@@ -8,8 +8,7 @@
 
 use crate::calibration::{wrap_to_pi, Calibration};
 use crate::layout::ArrayLayout;
-use rf_sim::scene::TagObservation;
-use rf_sim::tags::TagId;
+use rfid_gen2::report::{TagId, TagReport};
 use serde::{Deserialize, Serialize};
 use sigproc::series::TimeSeries;
 use sigproc::unwrap::StreamingUnwrapper;
@@ -26,19 +25,19 @@ pub struct TagStreams {
 }
 
 impl TagStreams {
-    /// Builds streams from observations.
+    /// Builds streams from tag reports.
     ///
     /// With `calibration = Some(..)` the phase stream of tag *i* is the
     /// unwrapped `θᵢⱼ − θ̃ᵢ` (Eq. 8): continuous and starting in `(−π, π]`.
     /// With `None` (the paper's no-suppression baseline) it is the raw
     /// unwrapped phase, whose centre value keeps the tag's hardware offset.
     ///
-    /// Observations for tags outside `layout` are ignored (a public-area
+    /// Reports for tags outside `layout` are ignored (a public-area
     /// reader hears unrelated tags too).
     pub fn build<'a>(
         layout: &ArrayLayout,
         calibration: Option<&Calibration>,
-        observations: impl IntoIterator<Item = &'a TagObservation>,
+        observations: impl IntoIterator<Item = &'a TagReport>,
     ) -> Self {
         let mut unwrappers: HashMap<TagId, StreamingUnwrapper> = HashMap::new();
         let mut offsets: HashMap<TagId, f64> = HashMap::new();
@@ -128,14 +127,8 @@ mod tests {
         ArrayLayout::new(1, 2, vec![TagId(0), TagId(1)])
     }
 
-    fn obs(tag: TagId, time: f64, phase: f64) -> TagObservation {
-        TagObservation {
-            tag,
-            time,
-            phase: wrap_phase(phase),
-            rss_dbm: -45.0,
-            doppler_hz: 0.0,
-        }
+    fn obs(tag: TagId, time: f64, phase: f64) -> TagReport {
+        TagReport::synthetic(tag, time, wrap_phase(phase), -45.0)
     }
 
     fn calibration_with_means(m0: f64, m1: f64) -> Calibration {
@@ -160,7 +153,7 @@ mod tests {
     #[test]
     fn suppression_centres_streams_at_zero() {
         let cal = calibration_with_means(1.0, 5.0);
-        let observations: Vec<TagObservation> = (0..20)
+        let observations: Vec<TagReport> = (0..20)
             .flat_map(|j| {
                 vec![
                     obs(TagId(0), j as f64 * 0.1, 1.0 + 0.05 * (j as f64).sin()),
@@ -183,7 +176,7 @@ mod tests {
 
     #[test]
     fn without_suppression_centres_differ() {
-        let observations: Vec<TagObservation> = (0..20)
+        let observations: Vec<TagReport> = (0..20)
             .flat_map(|j| {
                 vec![
                     obs(TagId(0), j as f64 * 0.1, 1.0),
@@ -201,7 +194,7 @@ mod tests {
     fn wrapped_ramp_is_unwrapped() {
         let cal = calibration_with_means(0.1, 0.1);
         // Tag 0's true phase ramps 0.1 → 9; reported wrapped.
-        let observations: Vec<TagObservation> = (0..90)
+        let observations: Vec<TagReport> = (0..90)
             .map(|j| obs(TagId(0), j as f64 * 0.05, 0.1 + j as f64 * 0.1))
             .chain((0..30).map(|j| obs(TagId(1), 4.5 + j as f64 * 0.01, 0.1)))
             .collect();

@@ -133,10 +133,7 @@ impl FrameSeq {
     /// Panics if `size == 0`.
     pub fn windows(&self, size: usize) -> Vec<Window> {
         assert!(size > 0, "window size must be positive");
-        self.frames
-            .chunks(size)
-            .map(Window::from_frames)
-            .collect()
+        self.frames.chunks(size).map(Window::from_frames).collect()
     }
 
     /// Sliding (overlapping) windows advancing one frame at a time. Useful

@@ -44,14 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Calibrate: a few seconds of static reads give every tag's mean
     //    phase (tag diversity) and deviation bias (location diversity).
     let calibration_run = reader.run(&scene, &[], 0.0, 6.0, &mut rng);
-    let static_obs: Vec<_> = calibration_run
-        .events
-        .iter()
-        .map(|e| e.observation)
-        .collect();
-    let layout = ArrayLayout::from_array(&array);
+    let static_obs = &calibration_run.events;
+    let layout = ArrayLayout::new(
+        array.rows(),
+        array.cols(),
+        array.tags().iter().map(|t| t.id).collect(),
+    );
     let config = RfipadConfig::default();
-    let calibration = Calibration::from_observations(&layout, &static_obs, &config)?;
+    let calibration = Calibration::from_observations(&layout, static_obs, &config)?;
     let recognizer = Recognizer::new(layout, calibration, config)?;
     println!("calibrated from {} static reads", static_obs.len());
 
@@ -74,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = reader.run(&scene, &targets, -0.5, session.end_time() + 1.5, &mut rng);
     println!("reader captured {} tag reads", run.events.len());
 
-    let observations: Vec<_> = run.events.iter().map(|e| e.observation).collect();
-    let result = recognizer.recognize_session(&observations);
+    let result = recognizer.recognize_session(&run.events);
 
     // 5. What did RFIPad see?
     for (i, stroke) in result.strokes.iter().enumerate() {

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             session.end_time() - start + 1.0,
             &mut rng,
         );
-        all_observations.extend(run.events.iter().map(|e| e.observation));
+        all_observations.extend(run.events.iter().copied());
         truth.push(gesture);
         t = session.end_time() + 2.5;
     }

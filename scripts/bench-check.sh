@@ -11,6 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
+echo "== lints =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== build (release) =="
 cargo build --release --workspace
 

@@ -50,8 +50,8 @@ fn parallel_stroke_trials_match_serial_reference_exactly() {
         assert_eq!(p.truth, s.truth);
         // The raw reader stream is the full observable state of a trial;
         // exact equality here means every downstream number agrees too.
-        assert_eq!(p.observations.len(), s.observations.len());
-        for (po, so) in p.observations.iter().zip(&s.observations) {
+        assert_eq!(p.reports.len(), s.reports.len());
+        for (po, so) in p.reports.iter().zip(&s.reports) {
             assert_eq!(po, so);
         }
         assert_eq!(p.result.strokes.len(), s.result.strokes.len());
@@ -99,7 +99,7 @@ fn parallel_letter_trials_match_serial_reference_exactly() {
     for (p, s) in parallel.iter().zip(&serial) {
         assert_eq!(p.truth, s.truth);
         assert_eq!(p.result.letter, s.result.letter);
-        for (po, so) in p.observations.iter().zip(&s.observations) {
+        for (po, so) in p.reports.iter().zip(&s.reports) {
             assert_eq!(po, so);
         }
     }

@@ -63,7 +63,7 @@ fn online_pipeline_matches_offline_result() {
     let mut pipeline = OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid gap");
     let mut online_letter = None;
     let mut online_strokes = Vec::new();
-    for obs in &trial.observations {
+    for obs in &trial.reports {
         for event in pipeline.push(*obs) {
             match event {
                 PipelineEvent::StrokeDetected { stroke, .. } => online_strokes.push(stroke.stroke),

@@ -33,9 +33,10 @@ fn report_stream_survives_llrp_round_trip() {
     assert_eq!(decoded.len(), run.events.len());
     for (orig, dec) in run.events.iter().zip(&decoded) {
         assert_eq!(orig.epc, dec.epc);
-        assert_eq!(orig.observation.tag, dec.observation.tag);
-        assert!((orig.observation.phase - dec.observation.phase).abs() < 0.002);
-        assert!((orig.observation.rss_dbm - dec.observation.rss_dbm).abs() < 0.01);
+        assert_eq!(orig.tag, dec.tag);
+        assert_eq!(orig.channel_index, dec.channel_index);
+        assert!((orig.phase - dec.phase).abs() < 0.002);
+        assert!((orig.rss_dbm - dec.rss_dbm).abs() < 0.01);
     }
 }
 
@@ -56,22 +57,12 @@ fn recognition_works_from_decoded_llrp_stream() {
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::Backslash), &user, 31);
 
-    // Round-trip the observations through LLRP.
-    let events: Vec<rfid_gen2::reader::TagReadEvent> = trial
-        .observations
-        .iter()
-        .map(|&observation| rfid_gen2::reader::TagReadEvent {
-            epc: rfid_gen2::Epc96::for_tag(observation.tag),
-            antenna_port: 1,
-            observation,
-        })
-        .collect();
-    let wire = encode_report(&events, 9);
+    // Round-trip the reports through LLRP.
+    let wire = encode_report(&trial.reports, 9);
     let (msg, _) = LlrpMessage::decode(&wire).expect("frame");
     let decoded = decode_report(&msg).expect("payload");
-    let observations: Vec<_> = decoded.iter().map(|e| e.observation).collect();
 
-    let result = bench.recognizer.recognize_session(&observations);
+    let result = bench.recognizer.recognize_session(&decoded);
     assert_eq!(result.strokes.len(), 1);
     assert_eq!(
         result.strokes[0].stroke.shape,
@@ -113,7 +104,7 @@ fn single_target_census_reads_each_tag_once() {
     let run = reader.run(&deployment.scene, &[], 0.0, 3.0, &mut rng);
     let mut per_tag = std::collections::HashMap::new();
     for e in &run.events {
-        *per_tag.entry(e.observation.tag).or_insert(0u32) += 1;
+        *per_tag.entry(e.tag).or_insert(0u32) += 1;
     }
     assert_eq!(per_tag.len(), 25, "census covers all tags");
     assert!(per_tag.values().all(|&c| c == 1), "each exactly once");

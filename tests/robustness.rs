@@ -4,8 +4,7 @@
 use experiments::{Bench, Deployment, DeploymentSpec};
 use hand_kinematics::stroke::{Stroke, StrokeShape};
 use hand_kinematics::user::UserProfile;
-use rf_sim::scene::TagObservation;
-use rf_sim::tags::TagId;
+use rfid_gen2::report::{TagId, TagReport};
 use rfipad::RfipadConfig;
 
 fn bench() -> Bench {
@@ -24,24 +23,25 @@ fn foreign_tag_traffic_is_ignored() {
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::Slash), &user, 11);
 
-    let mut polluted = trial.observations.clone();
+    let mut polluted = trial.reports.clone();
     // Interleave reports from an unrelated tag population.
-    let extra: Vec<TagObservation> = trial
-        .observations
+    let extra: Vec<TagReport> = trial
+        .reports
         .iter()
         .step_by(3)
-        .map(|o| TagObservation {
-            tag: TagId(900 + (o.time * 1000.0) as u64 % 7),
-            time: o.time + 1e-4,
-            phase: (o.phase * 1.7).rem_euclid(std::f64::consts::TAU),
-            rss_dbm: -55.0,
-            doppler_hz: 0.0,
+        .map(|o| {
+            TagReport::synthetic(
+                TagId(900 + (o.time * 1000.0) as u64 % 7),
+                o.time + 1e-4,
+                (o.phase * 1.7).rem_euclid(std::f64::consts::TAU),
+                -55.0,
+            )
         })
         .collect();
     polluted.extend(extra);
     polluted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
 
-    let clean = bench.recognizer.recognize_session(&trial.observations);
+    let clean = bench.recognizer.recognize_session(&trial.reports);
     let noisy = bench.recognizer.recognize_session(&polluted);
     assert_eq!(clean.strokes.len(), noisy.strokes.len());
     assert_eq!(
@@ -57,8 +57,8 @@ fn dead_tag_degrades_gracefully() {
     let bench = bench();
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::HLine), &user, 12);
-    let without_tag: Vec<TagObservation> = trial
-        .observations
+    let without_tag: Vec<TagReport> = trial
+        .reports
         .iter()
         .filter(|o| o.tag != TagId(12))
         .copied()
@@ -75,8 +75,8 @@ fn truncated_stream_detects_nothing_or_partial() {
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, 13);
     let start = trial.session.strokes[0].start;
-    let before: Vec<TagObservation> = trial
-        .observations
+    let before: Vec<TagReport> = trial
+        .reports
         .iter()
         .filter(|o| o.time < start - 0.2)
         .copied()
@@ -127,8 +127,8 @@ fn duplicate_timestamps_do_not_panic() {
     let bench = bench();
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::Backslash), &user, 15);
-    let mut duplicated = trial.observations.clone();
-    duplicated.extend(trial.observations.iter().copied());
+    let mut duplicated = trial.reports.clone();
+    duplicated.extend(trial.reports.iter().copied());
     duplicated.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
     let result = bench.recognizer.recognize_session(&duplicated);
     assert!(!result.strokes.is_empty());
@@ -141,8 +141,8 @@ fn half_the_reads_still_detect_strokes() {
     let bench = bench();
     let user = UserProfile::average();
     let trial = bench.run_stroke_trial(Stroke::new(StrokeShape::VLine), &user, 16);
-    let halved: Vec<TagObservation> = trial
-        .observations
+    let halved: Vec<TagReport> = trial
+        .reports
         .iter()
         .enumerate()
         .filter(|(i, _)| i % 2 == 0)

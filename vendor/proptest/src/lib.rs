@@ -88,6 +88,8 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Types with a canonical whole-domain strategy, mirroring
 /// `proptest::arbitrary::Arbitrary`.
@@ -139,7 +141,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 
 /// Collection strategies (`prop::collection::vec`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 
