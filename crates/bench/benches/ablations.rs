@@ -42,36 +42,18 @@ fn report_accuracy_deltas() {
             "  w/o diversity suppr.: {:.3}",
             accuracy_of(base.without_suppression(), 3)
         );
+        let mut fixed_threshold = RfipadConfig::default();
+        fixed_threshold.use_otsu = false;
         println!(
             "  fixed threshold 0.5:  {:.3}",
-            accuracy_of(
-                RfipadConfig {
-                    use_otsu: false,
-                    ..RfipadConfig::default()
-                },
-                3
-            )
+            accuracy_of(fixed_threshold, 3)
         );
-        println!(
-            "  window = 3 frames:    {:.3}",
-            accuracy_of(
-                RfipadConfig {
-                    window_frames: 3,
-                    ..RfipadConfig::default()
-                },
-                3
-            )
-        );
-        println!(
-            "  window = 8 frames:    {:.3}",
-            accuracy_of(
-                RfipadConfig {
-                    window_frames: 8,
-                    ..RfipadConfig::default()
-                },
-                3
-            )
-        );
+        let mut window3 = RfipadConfig::default();
+        window3.window_frames = 3;
+        println!("  window = 3 frames:    {:.3}", accuracy_of(window3, 3));
+        let mut window8 = RfipadConfig::default();
+        window8.window_frames = 8;
+        println!("  window = 8 frames:    {:.3}", accuracy_of(window8, 3));
     });
 }
 
@@ -86,12 +68,12 @@ fn bench_suppression_cost(c: &mut Criterion) {
     let user = UserProfile::average();
     let trial = bench.run_letter_trial('H', &user, 66);
     let with = bench.recognizer.clone();
-    let without = rfipad::Recognizer::new(
-        bench.deployment.layout.clone(),
-        bench.recognizer.calibration().clone(),
-        RfipadConfig::default().without_suppression(),
-    )
-    .expect("valid");
+    let without = rfipad::Recognizer::builder()
+        .layout(bench.deployment.layout.clone())
+        .calibration(bench.recognizer.calibration().clone())
+        .config(RfipadConfig::default().without_suppression())
+        .build()
+        .expect("valid");
     let mut group = c.benchmark_group("suppression_runtime");
     group.bench_function("with", |b| {
         b.iter(|| with.recognize_session(black_box(&trial.reports)))
@@ -112,15 +94,14 @@ fn bench_window_sizes(c: &mut Criterion) {
     let trial = bench.run_letter_trial('Z', &user, 67);
     let mut group = c.benchmark_group("segmentation_window");
     for frames in [3usize, 5, 8] {
-        let rec = rfipad::Recognizer::new(
-            bench.deployment.layout.clone(),
-            bench.recognizer.calibration().clone(),
-            RfipadConfig {
-                window_frames: frames,
-                ..RfipadConfig::default()
-            },
-        )
-        .expect("valid");
+        let mut config = RfipadConfig::default();
+        config.window_frames = frames;
+        let rec = rfipad::Recognizer::builder()
+            .layout(bench.deployment.layout.clone())
+            .calibration(bench.recognizer.calibration().clone())
+            .config(config)
+            .build()
+            .expect("valid");
         group.bench_function(BenchmarkId::from_parameter(frames), |b| {
             b.iter(|| rec.recognize_session(black_box(&trial.reports)))
         });

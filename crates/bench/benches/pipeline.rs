@@ -72,7 +72,13 @@ fn bench_online_pipeline(c: &mut Criterion) {
     let trial = bench.run_letter_trial('T', &user, 9);
     c.bench_function("online_pipeline/letter_T_stream", |b| {
         b.iter_batched(
-            || OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid"),
+            || {
+                OnlinePipeline::builder()
+                    .recognizer(bench.recognizer.clone())
+                    .letter_gap_s(1.5)
+                    .build()
+                    .expect("valid")
+            },
             |mut pipeline| {
                 let mut events = 0usize;
                 for obs in &trial.reports {

@@ -1,0 +1,249 @@
+//! Multi-session ingest benchmark: N concurrent sessions replay the
+//! golden trace through `rfipad::engine` and every one of them must
+//! reproduce the single-stream replay bit for bit.
+//!
+//! The check is the whole point: the engine's per-session single-consumer
+//! scheduling plus [`rfipad::engine::Backpressure::Block`] (lossless)
+//! means concurrency must not change recognition — only wall-clock
+//! metadata, which [`rfipad::engine::normalize_events`] strips before the
+//! comparison. On success the run merges a `multi_session` entry into
+//! `BENCH_pipeline.json` next to the other perf-trajectory probes.
+//!
+//! Usage: `cargo run --release -p experiments --bin engine_bench [-- \
+//!   --sessions N] [--jobs N] [--capacity N]`
+//!
+//! Defaults: 8 sessions, one worker per core, 1024-report queues. The
+//! golden trace is read from `tests/data/golden_session.rftrace` when run
+//! from the repo root; a missing trace falls back to re-recording the
+//! golden session live (bit-identical by construction — it is seeded).
+
+use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER};
+use rfid_gen2::report::TagReport;
+use rfid_gen2::source::{ReportSource, TraceSource};
+use rfipad::engine::{normalize_events, Backpressure, Engine, LatencySnapshot};
+use rfipad::{OnlinePipeline, PipelineEvent, Recognizer};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TRACE_PATH: &str = "tests/data/golden_session.rftrace";
+
+struct Args {
+    sessions: usize,
+    jobs: usize,
+    capacity: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sessions: 8,
+        jobs: 0,
+        capacity: 1024,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--sessions" => args.sessions = grab("--sessions")?,
+            "--jobs" => args.jobs = grab("--jobs")?,
+            "--capacity" => args.capacity = grab("--capacity")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// The golden report stream: decoded from the committed trace when it is
+/// reachable, otherwise re-recorded live (same bits — the session is
+/// seeded).
+fn golden_reports(recognizer_bench: &experiments::Bench) -> Vec<TagReport> {
+    match TraceSource::open(TRACE_PATH) {
+        Ok(mut source) => match source.try_collect_reports() {
+            Ok(reports) if !reports.is_empty() => {
+                eprintln!("replaying {} reports from {TRACE_PATH}", reports.len());
+                return reports;
+            }
+            Ok(_) => eprintln!("{TRACE_PATH} is empty; re-recording the golden session"),
+            Err(e) => eprintln!("{TRACE_PATH}: {e}; re-recording the golden session"),
+        },
+        Err(e) => eprintln!("{TRACE_PATH}: {e}; re-recording the golden session"),
+    }
+    golden_trial(recognizer_bench).reports
+}
+
+fn session_pipeline(recognizer: &Recognizer) -> OnlinePipeline {
+    OnlinePipeline::builder()
+        .recognizer(recognizer.clone())
+        .letter_gap_s(1.5)
+        .build()
+        .expect("valid pipeline")
+}
+
+/// The single-stream reference replay every engine session must match.
+fn serial_replay(recognizer: &Recognizer, reports: &[TagReport]) -> Vec<PipelineEvent> {
+    let mut pipeline = session_pipeline(recognizer);
+    let mut events = Vec::new();
+    for r in reports {
+        events.extend(pipeline.push(*r));
+    }
+    events.extend(pipeline.finish());
+    normalize_events(&mut events);
+    events
+}
+
+/// Merges `"multi_session": {...}` into `BENCH_pipeline.json`, replacing
+/// any previous entry and leaving the other probes' lines untouched.
+fn merge_bench_json(entry: &str) -> std::io::Result<()> {
+    const PATH: &str = "BENCH_pipeline.json";
+    let line = format!("  \"multi_session\": {entry},");
+    let merged = match std::fs::read_to_string(PATH) {
+        Ok(existing) => {
+            let mut lines: Vec<String> = existing
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("\"multi_session\""))
+                .map(String::from)
+                .collect();
+            let at = if lines.first().map(|l| l.trim() == "{").unwrap_or(false) {
+                1
+            } else {
+                lines.insert(0, "{".into());
+                lines.push("}".into());
+                1
+            };
+            lines.insert(at, line);
+            lines.join("\n") + "\n"
+        }
+        Err(_) => format!("{{\n{}\n}}\n", line.trim_end_matches(',')),
+    };
+    std::fs::write(PATH, merged)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    eprintln!("calibrating golden bench …");
+    let bench = golden_bench();
+    let reports = Arc::new(golden_reports(&bench));
+    let expected = Arc::new(serial_replay(&bench.recognizer, &reports));
+    let letters: Vec<_> = expected
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::LetterRecognized { letter, .. } => Some(*letter),
+            _ => None,
+        })
+        .collect();
+    if letters != vec![Some(GOLDEN_LETTER)] {
+        return Err(format!(
+            "serial replay must recognize '{GOLDEN_LETTER}', got {letters:?}"
+        ));
+    }
+
+    let engine = Arc::new(
+        Engine::builder()
+            .workers(args.jobs)
+            .queue_capacity(args.capacity)
+            .backpressure(Backpressure::Block)
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    let workers = engine.config().workers;
+    eprintln!(
+        "streaming {} sessions × {} reports over {workers} workers (queues of {}) …",
+        args.sessions,
+        reports.len(),
+        args.capacity
+    );
+
+    let start = Instant::now();
+    let feeders: Vec<_> = (0..args.sessions)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            let reports = Arc::clone(&reports);
+            let expected = Arc::clone(&expected);
+            let pipeline = session_pipeline(&bench.recognizer);
+            std::thread::spawn(move || -> Result<LatencySnapshot, String> {
+                let session = engine
+                    .open_session(format!("replay-{i}"), pipeline)
+                    .map_err(|e| e.to_string())?;
+                for r in reports.iter() {
+                    session.feed(*r).map_err(|e| e.to_string())?;
+                }
+                let stats = session.stats();
+                if stats.queue_depth > args.capacity {
+                    return Err(format!(
+                        "session {i}: queue depth {} exceeds capacity {}",
+                        stats.queue_depth, args.capacity
+                    ));
+                }
+                let mut events = session.close().map_err(|e| e.to_string())?;
+                normalize_events(&mut events);
+                if events != *expected {
+                    return Err(format!(
+                        "session {i}: engine replay diverged from the single-stream replay \
+                         ({} events vs {})",
+                        events.len(),
+                        expected.len()
+                    ));
+                }
+                Ok(stats.push_latency)
+            })
+        })
+        .collect();
+
+    let mut worst_p50 = 0u64;
+    let mut worst_p99 = 0u64;
+    for feeder in feeders {
+        let latency = feeder.join().map_err(|_| "feeder panicked".to_string())??;
+        worst_p50 = worst_p50.max(latency.p50_us);
+        worst_p99 = worst_p99.max(latency.p99_us);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let total_reports = args.sessions * reports.len();
+    if stats.reports_in != total_reports as u64 || stats.reports_dropped != 0 {
+        return Err(format!(
+            "engine counted {} in / {} dropped, expected {total_reports} / 0",
+            stats.reports_in, stats.reports_dropped
+        ));
+    }
+    let throughput = total_reports as f64 / wall_s;
+    println!(
+        "{} sessions replayed '{GOLDEN_LETTER}' identically in {wall_s:.3} s \
+         ({throughput:.0} reports/s; worst per-session push p50 {worst_p50} µs, p99 {worst_p99} µs)",
+        args.sessions
+    );
+
+    let entry = format!(
+        "{{ \"sessions\": {}, \"workers\": {workers}, \"queue_capacity\": {}, \
+         \"reports_per_session\": {}, \"wall_s\": {wall_s:.3}, \
+         \"reports_per_s\": {throughput:.0}, \"push_p50_us\": {worst_p50}, \
+         \"push_p99_us\": {worst_p99}, \"events_per_session\": {}, \
+         \"identical_to_serial\": true }}",
+        args.sessions,
+        args.capacity,
+        reports.len(),
+        expected.len(),
+    );
+    merge_bench_json(&entry).map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
+    eprintln!("merged multi_session entry into BENCH_pipeline.json");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -35,8 +35,11 @@ fn main() {
                 &user,
                 2400 + rep as u64 * 37 + stroke.shape.motion_number() as u64,
             );
-            let mut pipeline =
-                OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid gap");
+            let mut pipeline = OnlinePipeline::builder()
+                .recognizer(bench.recognizer.clone())
+                .letter_gap_s(1.5)
+                .build()
+                .expect("valid gap");
             let mut rng = StdRng::seed_from_u64(1);
             let _ = &mut rng;
             for obs in &trial.reports {

@@ -8,9 +8,12 @@
 //! `replay` checks exactly that.
 //!
 //! Usage:
-//!   trace_tool record <out.jsonl|out.rftrace> [letter]
-//!   trace_tool inspect <trace>
-//!   trace_tool replay <trace>
+//!
+//! ```text
+//! trace_tool record <out.jsonl|out.rftrace> [letter]
+//! trace_tool inspect <trace>
+//! trace_tool replay <trace>
+//! ```
 //!
 //! `record` simulates the golden session (or one writing `letter`) on the
 //! golden bench and writes the trace; the framing is picked from the file
@@ -24,7 +27,7 @@ use hand_kinematics::user::UserProfile;
 use rfid_gen2::report::TagReport;
 use rfid_gen2::source::{ReportSource, TraceSource};
 use rfid_gen2::trace::{write_trace_file, TraceFormat};
-use rfipad::{OnlinePipeline, PipelineEvent};
+use rfipad::{OnlinePipeline, PipelineEvent, RfipadError};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
@@ -35,16 +38,15 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn read_trace(path: &str) -> Result<Vec<TagReport>, String> {
-    let mut source = TraceSource::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let reports = source.collect_reports();
-    if let Some(err) = source.error() {
-        return Err(format!("{path}: {err}"));
-    }
-    Ok(reports)
+fn read_trace(path: &str) -> Result<Vec<TagReport>, RfipadError> {
+    let mut source =
+        TraceSource::open(path).map_err(|e| RfipadError::Source(format!("{path}: {e}")))?;
+    source
+        .try_collect_reports()
+        .map_err(|e| RfipadError::Source(format!("{path}: {e}")))
 }
 
-fn record(out: &str, letter: char) -> Result<(), String> {
+fn record(out: &str, letter: char) -> Result<(), RfipadError> {
     let format = if out.ends_with(".jsonl") {
         TraceFormat::JsonLines
     } else {
@@ -54,7 +56,8 @@ fn record(out: &str, letter: char) -> Result<(), String> {
     let bench = golden_bench();
     eprintln!("recording letter '{letter}' (seed {GOLDEN_TRIAL_SEED}) …");
     let trial = bench.run_letter_trial(letter, &UserProfile::average(), GOLDEN_TRIAL_SEED);
-    write_trace_file(out, format, &trial.reports).map_err(|e| format!("{out}: {e}"))?;
+    write_trace_file(out, format, &trial.reports)
+        .map_err(|e| RfipadError::Source(format!("{out}: {e}")))?;
     println!(
         "wrote {} reports to {out} ({:?}); live recognition: {:?}",
         trial.reports.len(),
@@ -64,7 +67,7 @@ fn record(out: &str, letter: char) -> Result<(), String> {
     Ok(())
 }
 
-fn inspect(path: &str) -> Result<(), String> {
+fn inspect(path: &str) -> Result<(), RfipadError> {
     let reports = read_trace(path)?;
     if reports.is_empty() {
         println!("{path}: empty trace");
@@ -94,7 +97,7 @@ fn inspect(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn replay(path: &str) -> Result<(), String> {
+fn replay(path: &str) -> Result<(), RfipadError> {
     let reports = read_trace(path)?;
     eprintln!("rebuilding golden bench …");
     let bench = golden_bench();
@@ -112,8 +115,10 @@ fn replay(path: &str) -> Result<(), String> {
     }
     println!("  letter: {:?}", result.letter);
 
-    let mut pipeline =
-        OnlinePipeline::new(bench.recognizer.clone(), 1.5).map_err(|e| e.to_string())?;
+    let mut pipeline = OnlinePipeline::builder()
+        .recognizer(bench.recognizer.clone())
+        .letter_gap_s(1.5)
+        .build()?;
     let mut online_letter = None;
     let mut strokes = 0usize;
     for r in &reports {

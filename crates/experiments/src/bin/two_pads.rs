@@ -64,7 +64,12 @@ fn main() {
     let static_obs: Vec<_> = static_run.events.clone();
     let cal_b =
         Calibration::from_observations(&layout_b, &static_obs, &config).expect("pad B calibrates");
-    let recognizer_b = Recognizer::new(layout_b, cal_b, config).expect("valid");
+    let recognizer_b = Recognizer::builder()
+        .layout(layout_b)
+        .calibration(cal_b)
+        .config(config)
+        .build()
+        .expect("valid");
 
     // Two users write concurrently: 'L' on pad A, 'T' on pad B.
     let user_a = UserProfile::volunteer(2);

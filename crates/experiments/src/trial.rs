@@ -42,20 +42,38 @@ impl Bench {
     /// # Panics
     ///
     /// Panics if calibration fails (e.g. a tag was unreadable throughout —
-    /// a broken deployment).
+    /// a broken deployment). Use [`Bench::try_calibrate`] to handle the
+    /// error instead.
     pub fn calibrate(deployment: Deployment, config: RfipadConfig, seed: u64) -> Bench {
+        Self::try_calibrate(deployment, config, seed).expect("calibration over a static scene")
+    }
+
+    /// Fallible variant of [`Bench::calibrate`]: surfaces calibration and
+    /// configuration faults as [`RfipadError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Calibration::from_observations`] or the recognizer
+    /// builder reject — an under-sampled tag, an invalid config…
+    pub fn try_calibrate(
+        deployment: Deployment,
+        config: RfipadConfig,
+        seed: u64,
+    ) -> Result<Bench, RfipadError> {
         let reader = Gen2Reader::new(ReaderConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let run = reader.run(&deployment.scene, &[], 0.0, CALIBRATION_SECS, &mut rng);
-        let calibration = Calibration::from_observations(&deployment.layout, &run.events, &config)
-            .expect("calibration over a static scene");
-        let recognizer =
-            Recognizer::new(deployment.layout.clone(), calibration, config).expect("valid config");
-        Bench {
+        let calibration = Calibration::from_observations(&deployment.layout, &run.events, &config)?;
+        let recognizer = Recognizer::builder()
+            .layout(deployment.layout.clone())
+            .calibration(calibration)
+            .config(config)
+            .build()?;
+        Ok(Bench {
             deployment,
             reader,
             recognizer,
-        }
+        })
     }
 
     /// The hand and forearm targets for a session written by `user`. Both

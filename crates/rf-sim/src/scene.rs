@@ -17,7 +17,7 @@
 //! term — static multipath, neighbour shadowing, antenna/tag gains, the
 //! radar-equation and Friis base powers, the geometric phase — is
 //! precomputed per tag and per channel frequency at construction (the
-//! [`StaticChannelCache`]). `observe` then only evaluates the moving
+//! internal `StaticChannelCache`). `observe` then only evaluates the moving
 //! targets' reflection paths and the noise draws, which is what makes
 //! large experiment batches affordable. [`Scene::observe_uncached`]
 //! recomputes everything from scratch and is bit-identical by

@@ -6,17 +6,68 @@ use crate::report::TagReport;
 use crate::trace::{
     decode_json_line, detect_format, read_binary_record, TraceError, TraceFormat, BINARY_MAGIC,
 };
+use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
+/// Errors surfaced by report sources: the one error type ingest code
+/// propagates for anything that goes wrong between a reader (live, trace,
+/// or hardware) and the recognition stack.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SourceError {
+    /// A trace decode or framing failure.
+    Trace(TraceError),
+    /// An underlying I/O failure outside trace framing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Trace(e) => write!(f, "trace source: {e}"),
+            SourceError::Io(e) => write!(f, "source I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Trace(e) => Some(e),
+            SourceError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for SourceError {
+    fn from(e: TraceError) -> Self {
+        SourceError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for SourceError {
+    fn from(e: std::io::Error) -> Self {
+        SourceError::Io(e)
+    }
+}
+
 /// A pull-based stream of tag reports.
 ///
 /// Implementations yield reports in timestamp order and return `None` when
-/// the stream is exhausted.
+/// the stream is exhausted. The trait is object-safe — ingest engines hold
+/// heterogeneous sources as `Box<dyn ReportSource + Send>`.
 pub trait ReportSource {
     /// The next report, or `None` at end of stream.
     fn next_report(&mut self) -> Option<TagReport>;
+
+    /// The error that terminated the stream early, if any. A fully
+    /// consumed, well-formed stream leaves this `None`; infallible sources
+    /// never set it.
+    fn error(&self) -> Option<&SourceError> {
+        None
+    }
 
     /// Drains the remaining reports into a vector.
     fn collect_reports(&mut self) -> Vec<TagReport> {
@@ -25,6 +76,36 @@ pub trait ReportSource {
             out.push(r);
         }
         out
+    }
+
+    /// Takes ownership of the terminating error, leaving the source with
+    /// none recorded. Infallible sources return `None`.
+    fn take_error(&mut self) -> Option<SourceError> {
+        None
+    }
+
+    /// Drains the remaining reports, surfacing the terminating error (if
+    /// the stream died mid-way) instead of silently truncating.
+    fn try_collect_reports(&mut self) -> Result<Vec<TagReport>, SourceError> {
+        let out = self.collect_reports();
+        match self.take_error() {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+impl<S: ReportSource + ?Sized> ReportSource for Box<S> {
+    fn next_report(&mut self) -> Option<TagReport> {
+        (**self).next_report()
+    }
+
+    fn error(&self) -> Option<&SourceError> {
+        (**self).error()
+    }
+
+    fn take_error(&mut self) -> Option<SourceError> {
+        (**self).take_error()
     }
 }
 
@@ -78,21 +159,21 @@ impl<R: BufRead> std::fmt::Debug for TraceStream<R> {
 #[derive(Debug)]
 pub struct TraceSource<R: BufRead = BufReader<File>> {
     stream: TraceStream<R>,
-    error: Option<TraceError>,
+    error: Option<SourceError>,
 }
 
 impl TraceSource<BufReader<File>> {
     /// Opens a trace file for streaming replay.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
-        Self::from_reader(BufReader::new(File::open(path)?))
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SourceError> {
+        Self::from_reader(BufReader::new(File::open(path).map_err(SourceError::Io)?))
     }
 }
 
 impl<R: BufRead> TraceSource<R> {
     /// Starts streaming from any buffered reader positioned at the start of
     /// a trace.
-    pub fn from_reader(mut reader: R) -> Result<Self, TraceError> {
-        let first = reader.fill_buf()?;
+    pub fn from_reader(mut reader: R) -> Result<Self, SourceError> {
+        let first = reader.fill_buf().map_err(TraceError::from)?;
         let stream = if first.is_empty() {
             // Empty trace: either framing decodes to zero reports.
             TraceStream::Binary(reader)
@@ -101,9 +182,9 @@ impl<R: BufRead> TraceSource<R> {
                 TraceFormat::JsonLines => TraceStream::Json { reader, line_no: 0 },
                 TraceFormat::Binary => {
                     let mut magic = [0u8; 4];
-                    reader.read_exact(&mut magic)?;
+                    reader.read_exact(&mut magic).map_err(TraceError::from)?;
                     if magic != BINARY_MAGIC {
-                        return Err(TraceError::Malformed(format!("bad magic {magic:02x?}")));
+                        return Err(TraceError::Malformed(format!("bad magic {magic:02x?}")).into());
                     }
                     TraceStream::Binary(reader)
                 }
@@ -117,7 +198,7 @@ impl<R: BufRead> TraceSource<R> {
 
     /// The decode error that terminated the stream early, if any. A fully
     /// consumed, well-formed trace leaves this `None`.
-    pub fn error(&self) -> Option<&TraceError> {
+    pub fn error(&self) -> Option<&SourceError> {
         self.error.as_ref()
     }
 
@@ -147,10 +228,18 @@ impl<R: BufRead> ReportSource for TraceSource<R> {
         match self.next_inner() {
             Ok(next) => next,
             Err(e) => {
-                self.error = Some(e);
+                self.error = Some(e.into());
                 None
             }
         }
+    }
+
+    fn error(&self) -> Option<&SourceError> {
+        self.error.as_ref()
+    }
+
+    fn take_error(&mut self) -> Option<SourceError> {
+        self.error.take()
     }
 }
 
@@ -202,5 +291,102 @@ mod tests {
         let drained = src.collect_reports();
         assert!(drained.len() < 5);
         assert!(src.error().is_some());
+    }
+
+    #[test]
+    fn truncated_binary_frame_is_typed_not_panic() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &sample()).unwrap();
+        // Cut inside the length prefix of the final record: a partial
+        // prefix is a truncated frame, not a clean end of stream.
+        buf.truncate(buf.len() - (4 + crate::trace::BINARY_RECORD_LEN) + 2);
+        let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+        match src.try_collect_reports() {
+            Err(SourceError::Trace(TraceError::Malformed(reason))) => {
+                assert!(reason.contains("length prefix"), "{reason}");
+            }
+            other => panic!("expected truncated-frame error, got {other:?}"),
+        }
+        // The error was taken; the source is drained and quiescent.
+        assert!(src.error().is_none());
+        assert!(src.next_report().is_none());
+    }
+
+    #[test]
+    fn corrupt_binary_length_prefix_is_malformed() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &sample()).unwrap();
+        // Overwrite the first record's length prefix with nonsense.
+        buf[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+        match src.try_collect_reports() {
+            Err(SourceError::Trace(TraceError::Malformed(reason))) => {
+                assert!(reason.contains("record length"), "{reason}");
+            }
+            other => panic!("expected malformed-record error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_json_line_is_typed_with_line_number() {
+        let reports = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::JsonLines, &reports).unwrap();
+        buf.extend_from_slice(b"{\"epc\":\"nope\"}\n");
+        let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+        let drained = src.collect_reports();
+        assert_eq!(drained, reports, "well-formed prefix still decodes");
+        match src.take_error() {
+            Some(SourceError::Trace(TraceError::Parse { line, .. })) => {
+                assert_eq!(line, reports.len() + 1);
+            }
+            other => panic!("expected parse error with line number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_opens_and_yields_nothing() {
+        let path =
+            std::env::temp_dir().join(format!("rfipad-empty-trace-{}.rftrace", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let mut src = TraceSource::open(&path).unwrap();
+        assert_eq!(src.try_collect_reports().unwrap(), Vec::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_typed_io_error() {
+        match TraceSource::open("/nonexistent/rfipad/trace.rftrace") {
+            Err(SourceError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected I/O error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn garbage_first_byte_is_typed_malformed() {
+        match TraceSource::from_reader(&b"\x00\x01\x02"[..]) {
+            Err(SourceError::Trace(TraceError::Malformed(_))) => {}
+            other => panic!("expected malformed error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn sources_are_object_safe_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LiveSource>();
+        assert_send::<TraceSource>();
+        assert_send::<SourceError>();
+        assert_send::<Box<dyn ReportSource + Send>>();
+
+        // Heterogeneous boxed sources drain through the same trait object.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &sample()).unwrap();
+        let boxed: Vec<Box<dyn ReportSource + Send>> = vec![
+            Box::new(LiveSource::new(sample())),
+            Box::new(TraceSource::from_reader(std::io::Cursor::new(buf)).unwrap()),
+        ];
+        for mut src in boxed {
+            assert_eq!(src.try_collect_reports().unwrap(), sample());
+        }
     }
 }

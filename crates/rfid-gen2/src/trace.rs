@@ -210,11 +210,23 @@ pub fn encode_binary_record(r: &TagReport) -> Vec<u8> {
 /// Reads one length-prefixed binary record, or `None` at a clean
 /// end-of-stream.
 pub fn read_binary_record<R: Read>(reader: &mut R) -> Result<Option<TagReport>, TraceError> {
+    // Read the length prefix byte-wise: zero bytes is a clean end of
+    // stream, a *partial* prefix is a truncated frame and must surface as
+    // an error, not silently end the trace.
     let mut len_bytes = [0u8; 4];
-    match reader.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(TraceError::Malformed(format!(
+                    "truncated record length prefix ({filled} of 4 bytes)"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u32::from_be_bytes(len_bytes) as usize;
     if len != BINARY_RECORD_LEN {

@@ -6,7 +6,12 @@ use serde::{Deserialize, Serialize};
 /// Tunable parameters of the RFIPad pipeline. Defaults follow the paper:
 /// 100 ms frames, 5-frame (0.5 s) windows, diversity suppression on, and
 /// Otsu binarization of the accumulative-phase image.
+///
+/// The struct is `#[non_exhaustive]`: downstream code starts from
+/// [`RfipadConfig::default`] and overrides fields by assignment, so new
+/// knobs can land without breaking callers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct RfipadConfig {
     /// Frame length in seconds (paper: 100 ms).
     pub frame_len_s: f64,

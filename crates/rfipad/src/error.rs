@@ -3,8 +3,13 @@
 use rfid_gen2::report::TagId;
 use std::fmt;
 
-/// Errors surfaced by the RFIPad recognition pipeline.
+/// Errors surfaced by the RFIPad recognition pipeline and ingest engine.
+///
+/// The one error type engine code propagates: source failures and session
+/// lifecycle faults convert into it via `From`, so a serving loop handles
+/// a single enum.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RfipadError {
     /// The layout does not contain the referenced tag.
     UnknownTag(TagId),
@@ -21,6 +26,14 @@ pub enum RfipadError {
     EmptyStream,
     /// A configuration value is out of its valid range.
     InvalidConfig(String),
+    /// A report source failed mid-stream (I/O or decode).
+    Source(String),
+    /// A session with this id is already open in the engine.
+    SessionExists(String),
+    /// The referenced engine session was closed or evicted.
+    SessionClosed(String),
+    /// The ingest engine's workers are gone (shut down or panicked).
+    EngineDown,
 }
 
 impl fmt::Display for RfipadError {
@@ -33,11 +46,27 @@ impl fmt::Display for RfipadError {
             ),
             RfipadError::EmptyStream => write!(f, "observation stream is empty"),
             RfipadError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RfipadError::Source(msg) => write!(f, "report source failed: {msg}"),
+            RfipadError::SessionExists(id) => write!(f, "session {id:?} is already open"),
+            RfipadError::SessionClosed(id) => write!(f, "session {id:?} is closed"),
+            RfipadError::EngineDown => write!(f, "ingest engine is shut down"),
         }
     }
 }
 
 impl std::error::Error for RfipadError {}
+
+impl From<rfid_gen2::source::SourceError> for RfipadError {
+    fn from(e: rfid_gen2::source::SourceError) -> Self {
+        RfipadError::Source(e.to_string())
+    }
+}
+
+impl From<rfid_gen2::trace::TraceError> for RfipadError {
+    fn from(e: rfid_gen2::trace::TraceError) -> Self {
+        RfipadError::Source(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -46,7 +46,11 @@
 //!     )))
 //!     .collect();
 //! let calibration = Calibration::from_observations(&layout, &static_obs, &config)?;
-//! let recognizer = Recognizer::new(layout, calibration, config)?;
+//! let recognizer = Recognizer::builder()
+//!     .layout(layout)
+//!     .calibration(calibration)
+//!     .config(config)
+//!     .build()?;
 //! let result = recognizer.recognize_session(&static_obs);
 //! assert!(result.strokes.is_empty()); // nothing moved
 //! # Ok::<(), rfipad::RfipadError>(())
@@ -59,6 +63,7 @@ pub mod accumulate;
 pub mod calibration;
 pub mod config;
 pub mod direction;
+pub mod engine;
 pub mod error;
 pub mod grammar;
 pub mod layout;
@@ -73,6 +78,7 @@ pub mod words;
 
 pub use calibration::Calibration;
 pub use config::RfipadConfig;
+pub use engine::{Backpressure, Engine, EngineStats, SessionHandle, SessionStats};
 pub use error::RfipadError;
 pub use layout::ArrayLayout;
 pub use multipad::{PadDispatcher, PadEvent, PadHandle};
@@ -86,6 +92,7 @@ pub use words::{DecodedWord, WordDecoder};
 pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::config::RfipadConfig;
+    pub use crate::engine::{Backpressure, Engine, SessionHandle};
     pub use crate::error::RfipadError;
     pub use crate::grammar::GrammarTree;
     pub use crate::layout::ArrayLayout;

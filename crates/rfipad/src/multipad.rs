@@ -77,8 +77,12 @@ impl PadDispatcher {
         for &id in recognizer.layout().tags() {
             self.routing.insert(id, handle);
         }
-        self.pads
-            .push(OnlinePipeline::new(recognizer, letter_gap_s)?);
+        self.pads.push(
+            OnlinePipeline::builder()
+                .recognizer(recognizer)
+                .letter_gap_s(letter_gap_s)
+                .build()?,
+        );
         Ok(handle)
     }
 
@@ -149,7 +153,12 @@ mod tests {
             .collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&layout, &static_obs, &config).expect("cal");
-        Recognizer::new(layout, cal, config).expect("valid")
+        Recognizer::builder()
+            .layout(layout)
+            .calibration(cal)
+            .config(config)
+            .build()
+            .expect("valid")
     }
 
     #[test]

@@ -48,6 +48,97 @@ pub enum PipelineEvent {
 /// duration plus the letter gap.
 const MAX_BUFFER_S: f64 = 30.0;
 
+/// What [`OnlinePipeline::push`] does with a report whose timestamp is
+/// older than one already consumed. A single reader stream is in time
+/// order, but merging several antennas or sources can interleave slightly
+/// stale reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum OutOfOrderPolicy {
+    /// Clamp the stale timestamp forward to the newest time seen, keeping
+    /// the report's signal content (the default: a few milliseconds of
+    /// skew never matters to 100 ms frames).
+    #[default]
+    Clamp,
+    /// Drop the stale report entirely.
+    Drop,
+}
+
+/// Validating builder for [`OnlinePipeline`], the supported way to
+/// construct one.
+///
+/// ```no_run
+/// # fn demo(recognizer: rfipad::Recognizer) -> Result<(), rfipad::RfipadError> {
+/// let pipeline = rfipad::OnlinePipeline::builder()
+///     .recognizer(recognizer)
+///     .letter_gap_s(1.5)
+///     .build()?;
+/// # let _ = pipeline; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the pipeline"]
+pub struct OnlinePipelineBuilder {
+    recognizer: Option<Recognizer>,
+    letter_gap_s: Option<f64>,
+    out_of_order: OutOfOrderPolicy,
+}
+
+impl OnlinePipelineBuilder {
+    /// The recognizer the pipeline wraps (required).
+    pub fn recognizer(mut self, recognizer: Recognizer) -> Self {
+        self.recognizer = Some(recognizer);
+        self
+    }
+
+    /// Idle time that closes a letter, simulated seconds (default 1.5 s,
+    /// comfortable for the default writer profiles).
+    pub fn letter_gap_s(mut self, letter_gap_s: f64) -> Self {
+        self.letter_gap_s = Some(letter_gap_s);
+        self
+    }
+
+    /// Policy for reports whose timestamps run backwards (default
+    /// [`OutOfOrderPolicy::Clamp`]).
+    pub fn out_of_order(mut self, policy: OutOfOrderPolicy) -> Self {
+        self.out_of_order = policy;
+        self
+    }
+
+    /// Validates the configuration and builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfipadError::InvalidConfig`] if no recognizer was given or
+    /// `letter_gap_s` is not positive and finite.
+    pub fn build(self) -> Result<OnlinePipeline, RfipadError> {
+        let recognizer = self.recognizer.ok_or_else(|| {
+            RfipadError::InvalidConfig("OnlinePipeline::builder() needs a recognizer".into())
+        })?;
+        let letter_gap_s = self.letter_gap_s.unwrap_or(1.5);
+        if !(letter_gap_s > 0.0 && letter_gap_s.is_finite()) {
+            return Err(RfipadError::InvalidConfig(
+                "letter_gap_s must be positive and finite".into(),
+            ));
+        }
+        let end_guard_s =
+            recognizer.config().frame_len_s * recognizer.config().window_frames as f64;
+        Ok(OnlinePipeline {
+            recognizer,
+            buffer: Vec::new(),
+            reported_spans: Vec::new(),
+            pending_strokes: Vec::new(),
+            last_processed: f64::NEG_INFINITY,
+            end_guard_s,
+            letter_gap_s,
+            out_of_order: self.out_of_order,
+            last_time: f64::NEG_INFINITY,
+            out_of_order_count: 0,
+            finished: false,
+        })
+    }
+}
+
 /// Streaming recognition engine.
 #[derive(Debug)]
 pub struct OnlinePipeline {
@@ -61,9 +152,22 @@ pub struct OnlinePipeline {
     end_guard_s: f64,
     /// Simulated seconds of silence that close a letter.
     letter_gap_s: f64,
+    /// What to do with reports whose timestamps run backwards.
+    out_of_order: OutOfOrderPolicy,
+    /// Newest report timestamp consumed so far.
+    last_time: f64,
+    /// Reports that arrived with a timestamp older than `last_time`.
+    out_of_order_count: u64,
+    /// Whether [`OnlinePipeline::finish`] already flushed the stream.
+    finished: bool,
 }
 
 impl OnlinePipeline {
+    /// Starts a validating builder ([`OnlinePipelineBuilder`]).
+    pub fn builder() -> OnlinePipelineBuilder {
+        OnlinePipelineBuilder::default()
+    }
+
     /// Creates an engine. `letter_gap_s` is the idle time that closes a
     /// letter (1.5 s is comfortable for the default writer profiles).
     ///
@@ -71,23 +175,12 @@ impl OnlinePipeline {
     ///
     /// Returns [`RfipadError::InvalidConfig`] if `letter_gap_s` is not
     /// positive.
+    #[deprecated(note = "use OnlinePipeline::builder() instead")]
     pub fn new(recognizer: Recognizer, letter_gap_s: f64) -> Result<Self, RfipadError> {
-        if letter_gap_s <= 0.0 {
-            return Err(RfipadError::InvalidConfig(
-                "letter_gap_s must be positive".into(),
-            ));
-        }
-        let end_guard_s =
-            recognizer.config().frame_len_s * recognizer.config().window_frames as f64;
-        Ok(Self {
-            recognizer,
-            buffer: Vec::new(),
-            reported_spans: Vec::new(),
-            pending_strokes: Vec::new(),
-            last_processed: f64::NEG_INFINITY,
-            end_guard_s,
-            letter_gap_s,
-        })
+        Self::builder()
+            .recognizer(recognizer)
+            .letter_gap_s(letter_gap_s)
+            .build()
     }
 
     /// The wrapped recognizer.
@@ -95,10 +188,35 @@ impl OnlinePipeline {
         &self.recognizer
     }
 
+    /// The idle gap (simulated seconds) that closes a letter.
+    pub fn letter_gap_s(&self) -> f64 {
+        self.letter_gap_s
+    }
+
+    /// How many reports arrived with a timestamp older than an already
+    /// consumed one (and were clamped or dropped per the configured
+    /// [`OutOfOrderPolicy`]).
+    pub fn out_of_order_count(&self) -> u64 {
+        self.out_of_order_count
+    }
+
     /// Feeds one tag report; returns any events it triggered.
     ///
-    /// Reports must arrive in time order (the reader stream is).
-    pub fn push(&mut self, obs: TagReport) -> Vec<PipelineEvent> {
+    /// Reports are expected in time order (a single reader stream is);
+    /// stale timestamps from multi-antenna or multi-source merges are
+    /// clamped or dropped per the configured [`OutOfOrderPolicy`] and
+    /// counted in [`OnlinePipeline::out_of_order_count`]. Feeding after
+    /// [`OnlinePipeline::finish`] resumes the stream.
+    pub fn push(&mut self, mut obs: TagReport) -> Vec<PipelineEvent> {
+        self.finished = false;
+        if obs.time < self.last_time {
+            self.out_of_order_count += 1;
+            match self.out_of_order {
+                OutOfOrderPolicy::Clamp => obs.time = self.last_time,
+                OutOfOrderPolicy::Drop => return Vec::new(),
+            }
+        }
+        self.last_time = obs.time;
         let now = obs.time;
         self.buffer.push(obs);
         // Bound the history: drop everything older than the retention
@@ -130,7 +248,16 @@ impl OnlinePipeline {
 
     /// Flushes the engine at end of input (closes any pending stroke or
     /// letter regardless of gaps).
+    ///
+    /// Idempotent: a second `finish` without an intervening
+    /// [`OnlinePipeline::push`] returns no events, so drain-then-close
+    /// sequences (and engine eviction racing an explicit close) cannot
+    /// duplicate reports.
     pub fn finish(&mut self) -> Vec<PipelineEvent> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
         let now = self
             .buffer
             .last()
@@ -293,8 +420,17 @@ mod tests {
             recording().into_iter().filter(|o| o.time < 2.0).collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&l, &static_part, &config).unwrap();
-        let rec = Recognizer::new(l, cal, config).unwrap();
-        OnlinePipeline::new(rec, 1.5).unwrap()
+        let rec = Recognizer::builder()
+            .layout(l)
+            .calibration(cal)
+            .config(config)
+            .build()
+            .unwrap();
+        OnlinePipeline::builder()
+            .recognizer(rec)
+            .letter_gap_s(1.5)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -382,7 +518,136 @@ mod tests {
     fn rejects_nonpositive_letter_gap() {
         let p = pipeline();
         let rec = p.recognizer;
-        assert!(OnlinePipeline::new(rec, 0.0).is_err());
+        assert!(OnlinePipeline::builder()
+            .recognizer(rec)
+            .letter_gap_s(0.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_requires_recognizer_and_defaults_gap() {
+        assert!(OnlinePipeline::builder().build().is_err());
+        let p = pipeline();
+        let built = OnlinePipeline::builder()
+            .recognizer(p.recognizer)
+            .build()
+            .expect("defaults valid");
+        assert_eq!(built.letter_gap_s(), 1.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_constructs() {
+        let p = pipeline();
+        let built = OnlinePipeline::new(p.recognizer, 2.0).expect("shim works");
+        assert_eq!(built.letter_gap_s(), 2.0);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        // Stop the feed right after the stroke, before any silence: the
+        // whole stroke + letter decision then rides on finish().
+        let mut p = pipeline();
+        let mut events = Vec::new();
+        for o in recording().into_iter().filter(|o| o.time < 4.2) {
+            events.extend(p.push(o));
+        }
+        let first = p.finish();
+        assert!(
+            first
+                .iter()
+                .any(|e| matches!(e, PipelineEvent::LetterRecognized { .. })),
+            "finish closes the pending letter: {first:?}"
+        );
+        assert!(p.finish().is_empty(), "second finish re-emitted events");
+        assert!(p.finish().is_empty());
+    }
+
+    #[test]
+    fn push_after_finish_resumes_the_stream() {
+        let mut p = pipeline();
+        let all = recording();
+        for o in all.iter().filter(|o| o.time < 5.0) {
+            p.push(*o);
+        }
+        let mid = p.finish();
+        assert!(mid
+            .iter()
+            .any(|e| matches!(e, PipelineEvent::LetterRecognized { .. })));
+        // The stream resumes: further quiet traffic is consumed normally
+        // and a later finish does not duplicate the closed letter.
+        for o in all.iter().filter(|o| o.time >= 5.0) {
+            p.push(*o);
+        }
+        let tail = p.finish();
+        assert!(
+            !tail.iter().any(|e| matches!(
+                e,
+                PipelineEvent::LetterRecognized {
+                    letter: Some(_),
+                    ..
+                }
+            )),
+            "resumed quiet tail re-reported the letter: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_clamped_and_counted() {
+        let p = pipeline();
+        let mut clamping = OnlinePipeline::builder()
+            .recognizer(p.recognizer)
+            .letter_gap_s(1.5)
+            .out_of_order(OutOfOrderPolicy::Clamp)
+            .build()
+            .unwrap();
+        let mut events = Vec::new();
+        for (i, mut o) in recording().into_iter().enumerate() {
+            // A second antenna's reports lag by 40 ms every eighth read.
+            if i % 8 == 3 {
+                o.time -= 0.04;
+            }
+            events.extend(clamping.push(o));
+        }
+        events.extend(clamping.finish());
+        assert!(clamping.out_of_order_count() > 0, "stale reports seen");
+        // Clamped timestamps never run backwards inside the buffer.
+        assert!(clamping.buffer.windows(2).all(|w| w[0].time <= w[1].time));
+        // The sweep still resolves to the same letter.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            PipelineEvent::LetterRecognized {
+                letter: Some('I'),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn out_of_order_drop_discards_stale_reports() {
+        let p = pipeline();
+        let mut dropping = OnlinePipeline::builder()
+            .recognizer(p.recognizer)
+            .letter_gap_s(1.5)
+            .out_of_order(OutOfOrderPolicy::Drop)
+            .build()
+            .unwrap();
+        let reports = recording();
+        let n = reports.len();
+        for (i, mut o) in reports.into_iter().enumerate() {
+            if i % 10 == 7 {
+                o.time -= 0.05;
+            }
+            dropping.push(o);
+        }
+        assert!(dropping.out_of_order_count() > 0);
+        assert!(
+            (dropping.buffer.len() as u64) <= n as u64 - dropping.out_of_order_count()
+                || dropping.buffer.len() < n,
+            "dropped reports must not enter the buffer"
+        );
+        assert!(dropping.buffer.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]
@@ -425,8 +690,17 @@ mod buffer_tests {
             .collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&layout, &static_obs, &config).unwrap();
-        let rec = Recognizer::new(layout, cal, config).unwrap();
-        OnlinePipeline::new(rec, letter_gap_s).unwrap()
+        let rec = Recognizer::builder()
+            .layout(layout)
+            .calibration(cal)
+            .config(config)
+            .build()
+            .unwrap();
+        OnlinePipeline::builder()
+            .recognizer(rec)
+            .letter_gap_s(letter_gap_s)
+            .build()
+            .unwrap()
     }
 
     /// A hand-built pending stroke, for exercising the retention logic

@@ -51,6 +51,73 @@ pub struct SessionResult {
     pub segmentation: Segmentation,
 }
 
+/// Validating builder for [`Recognizer`], the supported way to construct
+/// one.
+///
+/// ```no_run
+/// # fn demo(layout: rfipad::ArrayLayout, cal: rfipad::Calibration)
+/// #     -> Result<(), rfipad::RfipadError> {
+/// let recognizer = rfipad::Recognizer::builder()
+///     .layout(layout)
+///     .calibration(cal)
+///     .build()?; // config defaults to RfipadConfig::default()
+/// # let _ = recognizer; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the recognizer"]
+pub struct RecognizerBuilder {
+    layout: Option<ArrayLayout>,
+    calibration: Option<Calibration>,
+    config: Option<RfipadConfig>,
+}
+
+impl RecognizerBuilder {
+    /// The tag-array layout (required).
+    pub fn layout(mut self, layout: ArrayLayout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// The static calibration for that layout (required).
+    pub fn calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// Pipeline configuration (defaults to [`RfipadConfig::default`]).
+    pub fn config(mut self, config: RfipadConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Validates the configuration and assembles the recognizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfipadError::InvalidConfig`] if layout or calibration is
+    /// missing, or if the configuration fails [`RfipadConfig::validate`].
+    pub fn build(self) -> Result<Recognizer, RfipadError> {
+        let layout = self.layout.ok_or_else(|| {
+            RfipadError::InvalidConfig("Recognizer::builder() needs a layout".into())
+        })?;
+        let calibration = self.calibration.ok_or_else(|| {
+            RfipadError::InvalidConfig("Recognizer::builder() needs a calibration".into())
+        })?;
+        let config = self.config.unwrap_or_default();
+        config.validate()?;
+        Ok(Recognizer {
+            motion: MotionRecognizer::new(config.clone()),
+            direction: DirectionEstimator::new(config.clone()),
+            segmenter: Segmenter::new(config.clone()),
+            grammar: GrammarTree::standard(),
+            layout,
+            calibration,
+            config,
+        })
+    }
+}
+
 /// The full RFIPad recognizer.
 #[derive(Debug, Clone)]
 pub struct Recognizer {
@@ -64,6 +131,11 @@ pub struct Recognizer {
 }
 
 impl Recognizer {
+    /// Starts a validating builder ([`RecognizerBuilder`]).
+    pub fn builder() -> RecognizerBuilder {
+        RecognizerBuilder::default()
+    }
+
     /// Assembles a recognizer from a layout, its static calibration, and a
     /// configuration.
     ///
@@ -71,21 +143,17 @@ impl Recognizer {
     ///
     /// Returns [`RfipadError::InvalidConfig`] if the configuration fails
     /// validation.
+    #[deprecated(note = "use Recognizer::builder() instead")]
     pub fn new(
         layout: ArrayLayout,
         calibration: Calibration,
         config: RfipadConfig,
     ) -> Result<Self, RfipadError> {
-        config.validate()?;
-        Ok(Self {
-            motion: MotionRecognizer::new(config.clone()),
-            direction: DirectionEstimator::new(config.clone()),
-            segmenter: Segmenter::new(config.clone()),
-            grammar: GrammarTree::standard(),
-            layout,
-            calibration,
-            config,
-        })
+        Self::builder()
+            .layout(layout)
+            .calibration(calibration)
+            .config(config)
+            .build()
     }
 
     /// The layout in use.
@@ -363,7 +431,12 @@ mod tests {
             recording.iter().filter(|o| o.time < 2.0).copied().collect();
         let config = RfipadConfig::default();
         let cal = Calibration::from_observations(&l, &static_part, &config).expect("calibration");
-        Recognizer::new(l, cal, config).expect("valid config")
+        Recognizer::builder()
+            .layout(l)
+            .calibration(cal)
+            .config(config)
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -410,7 +483,41 @@ mod tests {
             frame_len_s: -1.0,
             ..RfipadConfig::default()
         };
-        assert!(Recognizer::new(rec.layout().clone(), rec.calibration().clone(), bad).is_err());
+        assert!(Recognizer::builder()
+            .layout(rec.layout().clone())
+            .calibration(rec.calibration().clone())
+            .config(bad)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_requires_layout_and_calibration() {
+        let rec = recognizer();
+        assert!(Recognizer::builder().build().is_err());
+        assert!(Recognizer::builder()
+            .layout(rec.layout().clone())
+            .build()
+            .is_err());
+        // Config is optional and defaults to the paper's parameters.
+        let built = Recognizer::builder()
+            .layout(rec.layout().clone())
+            .calibration(rec.calibration().clone())
+            .build()
+            .expect("default config valid");
+        assert_eq!(built.config(), &RfipadConfig::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_constructs() {
+        let rec = recognizer();
+        assert!(Recognizer::new(
+            rec.layout().clone(),
+            rec.calibration().clone(),
+            RfipadConfig::default()
+        )
+        .is_ok());
     }
 
     #[test]

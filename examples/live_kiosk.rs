@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Spin up the engine on its own thread.
-    let pipeline = rfipad::OnlinePipeline::new(bench.recognizer.clone(), 1.8)?;
+    let pipeline = rfipad::OnlinePipeline::builder()
+        .recognizer(bench.recognizer.clone())
+        .letter_gap_s(1.8)
+        .build()?;
     let (obs_tx, obs_rx) = channel::unbounded();
     let (handle, events) = spawn(pipeline, obs_rx);
 

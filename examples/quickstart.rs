@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let config = RfipadConfig::default();
     let calibration = Calibration::from_observations(&layout, static_obs, &config)?;
-    let recognizer = Recognizer::new(layout, calibration, config)?;
+    let recognizer = Recognizer::builder()
+        .layout(layout)
+        .calibration(calibration)
+        .config(config)
+        .build()?;
     println!("calibrated from {} static reads", static_obs.len());
 
     // 3. A user writes the letter 'R' in the air above the pad.

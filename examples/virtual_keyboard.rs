@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stream the reads through the online engine and print UI commands as
     // the kiosk would execute them.
-    let mut pipeline = OnlinePipeline::new(bench.recognizer.clone(), 1.8)?;
+    let mut pipeline = OnlinePipeline::builder()
+        .recognizer(bench.recognizer.clone())
+        .letter_gap_s(1.8)
+        .build()?;
     let mut executed = Vec::new();
     for obs in &all_observations {
         for event in pipeline.push(*obs) {

@@ -17,6 +17,9 @@ cargo fmt --check
 echo "== lints =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== docs (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== build (release) =="
 cargo build --release --workspace
 
@@ -29,5 +32,8 @@ CRITERION_SAMPLE_MS=${CRITERION_SAMPLE_MS:-150} cargo bench -p bench --bench pip
 
 echo "== perf trajectory -> BENCH_pipeline.json =="
 cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
+
+echo "== multi-session engine smoke (8 golden-trace replays) =="
+cargo run --release -p experiments --bin engine_bench -- --sessions 8
 
 echo "bench-check: OK"

@@ -60,7 +60,11 @@ fn online_pipeline_matches_offline_result() {
     let user = UserProfile::average();
     let trial = bench.run_letter_trial('T', &user, 88);
 
-    let mut pipeline = OnlinePipeline::new(bench.recognizer.clone(), 1.5).expect("valid gap");
+    let mut pipeline = OnlinePipeline::builder()
+        .recognizer(bench.recognizer.clone())
+        .letter_gap_s(1.5)
+        .build()
+        .expect("valid gap");
     let mut online_letter = None;
     let mut online_strokes = Vec::new();
     for obs in &trial.reports {

@@ -80,7 +80,11 @@ enum ReplayEvent {
 }
 
 fn drive_online(recognizer: &Recognizer, reports: &[TagReport]) -> Vec<ReplayEvent> {
-    let mut pipeline = OnlinePipeline::new(recognizer.clone(), 1.5).expect("valid gap");
+    let mut pipeline = OnlinePipeline::builder()
+        .recognizer(recognizer.clone())
+        .letter_gap_s(1.5)
+        .build()
+        .expect("valid gap");
     let mut events = Vec::new();
     let record = |batch: Vec<PipelineEvent>, events: &mut Vec<ReplayEvent>| {
         for event in batch {

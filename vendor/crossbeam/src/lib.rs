@@ -1,8 +1,10 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides the one facility this workspace uses: `crossbeam::channel`
-//! unbounded MPMC channels with cloneable senders *and* receivers and a
-//! blocking iterator, implemented over `std::sync::{Mutex, Condvar}`.
+//! Provides the facilities this workspace uses: `crossbeam::channel`
+//! unbounded *and* bounded MPMC channels with cloneable senders and
+//! receivers, blocking and non-blocking send/receive, queue-depth
+//! inspection, and a blocking iterator, implemented over
+//! `std::sync::{Mutex, Condvar}`.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -13,6 +15,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when space frees up in a bounded channel.
+        space: Condvar,
+        /// `None` for unbounded channels.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -30,6 +36,47 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`]; carries the unsent message
+    /// back, like crossbeam's.
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity right now.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full queue (as opposed to disconnect).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -58,11 +105,12 @@ pub mod channel {
         inner: Arc<Inner<T>>,
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -74,19 +122,71 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages; a full
+    /// channel blocks [`Sender::send`] until a receiver makes room. A
+    /// capacity of 0 is promoted to 1 (this stand-in has no rendezvous
+    /// mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message, failing only if all receivers dropped.
+        /// Enqueues a message, blocking while a bounded channel is full;
+        /// fails only if all receivers dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.inner
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .push_back(value);
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.inner.cap {
+                while queue.len() >= cap {
+                    if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self.inner.space.wait(queue).expect("channel poisoned");
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Enqueues a message if the channel has room right now.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(cap) = self.inner.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity (`None` when unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.cap
         }
     }
 
@@ -115,6 +215,8 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.space.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -128,12 +230,31 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.inner.queue.lock().expect("channel poisoned");
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    drop(queue);
+                    self.inner.space.notify_one();
+                    Ok(value)
+                }
                 None if self.inner.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's capacity (`None` when unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.cap
         }
 
         /// A blocking iterator that ends when the channel disconnects.
@@ -153,7 +274,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full bounded
+                // channel so they observe the disconnect.
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -229,6 +354,57 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).expect("room");
+            tx.try_send(2).expect("room");
+            assert_eq!(tx.len(), 2);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).expect("room after pop");
+            let got: Vec<i32> = (0..2).map(|_| rx.try_recv().expect("queued")).collect();
+            assert_eq!(got, vec![2, 3]);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).expect("room");
+            let sender = std::thread::spawn(move || tx.send(2));
+            // The blocked send completes once the receiver drains a slot.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            sender.join().expect("no panic").expect("receiver alive");
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn blocked_send_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).expect("room");
+            let sender = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(sender.join().expect("no panic").is_err());
+        }
+
+        #[test]
+        fn try_send_without_receivers_disconnects() {
+            let (tx, rx) = bounded(4);
+            drop(rx);
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        }
+
+        #[test]
+        fn zero_capacity_promoted_to_one() {
+            let (tx, rx) = bounded(0);
+            assert_eq!(tx.capacity(), Some(1));
+            tx.try_send(7).expect("one slot");
+            assert!(tx.try_send(8).is_err());
+            assert_eq!(rx.recv(), Ok(7));
         }
 
         #[test]
