@@ -105,7 +105,7 @@ fn main() {
         .map(|p| p.get())
         .unwrap_or(1);
 
-    eprintln!("calibrating bench …");
+    obs::info!("calibrating bench");
     let bench = Bench::calibrate(
         Deployment::build(DeploymentSpec::default(), 42),
         RfipadConfig::default(),
@@ -113,17 +113,17 @@ fn main() {
     );
     let user = UserProfile::average();
 
-    eprintln!("timing Scene::observe (cached vs uncached) …");
+    obs::info!("timing Scene::observe (cached vs uncached)");
     // Warm up, then measure.
     time_observe(&bench, true, 2_000);
     let cached_ns = time_observe(&bench, true, 20_000);
     let uncached_ns = time_observe(&bench, false, 20_000);
 
-    eprintln!("timing 13-stroke batch (serial vs {cores} threads) …");
+    obs::info!("timing 13-stroke batch"; serial_vs_threads = cores);
     let serial_s = time_batch(&bench, &user, Some(1));
     let parallel_s = time_batch(&bench, &user, None);
 
-    eprintln!("timing golden-trace replay (JSON lines vs binary) …");
+    obs::info!("timing golden-trace replay (JSON lines vs binary)");
     use rfid_gen2::trace::{write_trace, TraceFormat};
     let golden = golden_trial(&bench);
     let mut json_buf = Vec::new();
@@ -134,9 +134,9 @@ fn main() {
     let (bin_ms, bin_bytes) = time_trace_replay(&bench, &bin_buf, 20);
 
     let run_all = if with_run_all {
-        eprintln!("timing run_all quick --jobs 1 (serial) …");
+        obs::info!("timing run_all quick --jobs 1 (serial)");
         let one = time_run_all("1");
-        eprintln!("timing run_all quick --jobs 0 (all cores) …");
+        obs::info!("timing run_all quick --jobs 0 (all cores)");
         let all = time_run_all("0");
         one.zip(all)
     } else {
@@ -175,5 +175,5 @@ fn main() {
 
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");
-    eprintln!("wrote BENCH_pipeline.json");
+    obs::info!("wrote BENCH_pipeline.json");
 }

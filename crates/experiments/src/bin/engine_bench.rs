@@ -68,13 +68,15 @@ fn golden_reports(recognizer_bench: &experiments::Bench) -> Vec<TagReport> {
     match TraceSource::open(TRACE_PATH) {
         Ok(mut source) => match source.try_collect_reports() {
             Ok(reports) if !reports.is_empty() => {
-                eprintln!("replaying {} reports from {TRACE_PATH}", reports.len());
+                obs::info!("replaying recorded trace"; path = TRACE_PATH, reports = reports.len());
                 return reports;
             }
-            Ok(_) => eprintln!("{TRACE_PATH} is empty; re-recording the golden session"),
-            Err(e) => eprintln!("{TRACE_PATH}: {e}; re-recording the golden session"),
+            Ok(_) => {
+                obs::warn!("trace is empty; re-recording the golden session"; path = TRACE_PATH)
+            }
+            Err(e) => obs::warn!("{e}; re-recording the golden session"; path = TRACE_PATH),
         },
-        Err(e) => eprintln!("{TRACE_PATH}: {e}; re-recording the golden session"),
+        Err(e) => obs::warn!("{e}; re-recording the golden session"; path = TRACE_PATH),
     }
     golden_trial(recognizer_bench).reports
 }
@@ -99,37 +101,10 @@ fn serial_replay(recognizer: &Recognizer, reports: &[TagReport]) -> Vec<Pipeline
     events
 }
 
-/// Merges `"multi_session": {...}` into `BENCH_pipeline.json`, replacing
-/// any previous entry and leaving the other probes' lines untouched.
-fn merge_bench_json(entry: &str) -> std::io::Result<()> {
-    const PATH: &str = "BENCH_pipeline.json";
-    let line = format!("  \"multi_session\": {entry},");
-    let merged = match std::fs::read_to_string(PATH) {
-        Ok(existing) => {
-            let mut lines: Vec<String> = existing
-                .lines()
-                .filter(|l| !l.trim_start().starts_with("\"multi_session\""))
-                .map(String::from)
-                .collect();
-            let at = if lines.first().map(|l| l.trim() == "{").unwrap_or(false) {
-                1
-            } else {
-                lines.insert(0, "{".into());
-                lines.push("}".into());
-                1
-            };
-            lines.insert(at, line);
-            lines.join("\n") + "\n"
-        }
-        Err(_) => format!("{{\n{}\n}}\n", line.trim_end_matches(',')),
-    };
-    std::fs::write(PATH, merged)
-}
-
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
-    eprintln!("calibrating golden bench …");
+    obs::info!("calibrating golden bench");
     let bench = golden_bench();
     let reports = Arc::new(golden_reports(&bench));
     let expected = Arc::new(serial_replay(&bench.recognizer, &reports));
@@ -155,12 +130,8 @@ fn run() -> Result<(), String> {
             .map_err(|e| e.to_string())?,
     );
     let workers = engine.config().workers;
-    eprintln!(
-        "streaming {} sessions × {} reports over {workers} workers (queues of {}) …",
-        args.sessions,
-        reports.len(),
-        args.capacity
-    );
+    obs::info!("streaming sessions"; sessions = args.sessions, reports = reports.len(),
+        workers = workers, queue_capacity = args.capacity);
 
     let start = Instant::now();
     let feeders: Vec<_> = (0..args.sessions)
@@ -233,8 +204,9 @@ fn run() -> Result<(), String> {
         reports.len(),
         expected.len(),
     );
-    merge_bench_json(&entry).map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
-    eprintln!("merged multi_session entry into BENCH_pipeline.json");
+    experiments::benchjson::merge_entry("multi_session", &entry)
+        .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
+    obs::info!("merged multi_session entry into BENCH_pipeline.json");
     Ok(())
 }
 
@@ -242,7 +214,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("{e}");
             ExitCode::FAILURE
         }
     }

@@ -61,7 +61,7 @@ fn parse_jobs() -> usize {
             continue;
         };
         let n = requested.unwrap_or_else(|| {
-            eprintln!("run_all: --jobs expects a number (e.g. --jobs 4)");
+            obs::error!("--jobs expects a number (e.g. --jobs 4)");
             std::process::exit(2);
         });
         if n == 0 {

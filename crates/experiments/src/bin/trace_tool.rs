@@ -13,6 +13,7 @@
 //! trace_tool record <out.jsonl|out.rftrace> [letter]
 //! trace_tool inspect <trace>
 //! trace_tool replay <trace>
+//! trace_tool stats <trace> [--bench]
 //! ```
 //!
 //! `record` simulates the golden session (or one writing `letter`) on the
@@ -20,21 +21,27 @@
 //! extension (`.jsonl` → JSON lines, anything else → binary). `inspect`
 //! prints a summary without recognizing. `replay` feeds the trace through
 //! the batch recognizer and the online pipeline of a freshly rebuilt
-//! golden bench and prints what they see.
+//! golden bench and prints what they see. `stats` replays the trace
+//! through an instrumented online pipeline and prints the Prometheus text
+//! exposition of the process-global metrics registry (self-validated);
+//! with `--bench` it also times instrumented vs `RFIPAD_LOG=off` replays
+//! and merges a `telemetry_overhead` entry into `BENCH_pipeline.json`.
 
 use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER, GOLDEN_TRIAL_SEED};
 use hand_kinematics::user::UserProfile;
 use rfid_gen2::report::TagReport;
 use rfid_gen2::source::{ReportSource, TraceSource};
 use rfid_gen2::trace::{write_trace_file, TraceFormat};
-use rfipad::{OnlinePipeline, PipelineEvent, RfipadError};
+use rfipad::{OnlinePipeline, PipelineEvent, Recognizer, RfipadError};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!("usage: trace_tool record <out.jsonl|out.rftrace> [letter]");
     eprintln!("       trace_tool inspect <trace>");
     eprintln!("       trace_tool replay <trace>");
+    eprintln!("       trace_tool stats <trace> [--bench]");
     ExitCode::FAILURE
 }
 
@@ -52,9 +59,9 @@ fn record(out: &str, letter: char) -> Result<(), RfipadError> {
     } else {
         TraceFormat::Binary
     };
-    eprintln!("calibrating golden bench …");
+    obs::info!("calibrating golden bench");
     let bench = golden_bench();
-    eprintln!("recording letter '{letter}' (seed {GOLDEN_TRIAL_SEED}) …");
+    obs::info!("recording letter"; letter = letter, seed = GOLDEN_TRIAL_SEED);
     let trial = bench.run_letter_trial(letter, &UserProfile::average(), GOLDEN_TRIAL_SEED);
     write_trace_file(out, format, &trial.reports)
         .map_err(|e| RfipadError::Source(format!("{out}: {e}")))?;
@@ -99,7 +106,7 @@ fn inspect(path: &str) -> Result<(), RfipadError> {
 
 fn replay(path: &str) -> Result<(), RfipadError> {
     let reports = read_trace(path)?;
-    eprintln!("rebuilding golden bench …");
+    obs::info!("rebuilding golden bench");
     let bench = golden_bench();
 
     let result = bench.recognizer.recognize_session(&reports);
@@ -149,6 +156,106 @@ fn replay(path: &str) -> Result<(), RfipadError> {
     Ok(())
 }
 
+/// One full online replay of `reports`; returns (strokes, letter).
+fn replay_online(
+    recognizer: &Recognizer,
+    reports: &[TagReport],
+) -> Result<(usize, Option<char>), RfipadError> {
+    let mut pipeline = OnlinePipeline::builder()
+        .recognizer(recognizer.clone())
+        .letter_gap_s(1.5)
+        .build()?;
+    let mut letter = None;
+    let mut strokes = 0usize;
+    let mut handle = |event: PipelineEvent| match event {
+        PipelineEvent::StrokeDetected { .. } => strokes += 1,
+        PipelineEvent::LetterRecognized { letter: l, .. } => letter = l,
+    };
+    for r in reports {
+        for event in pipeline.push(*r) {
+            handle(event);
+        }
+    }
+    for event in pipeline.finish() {
+        handle(event);
+    }
+    Ok((strokes, letter))
+}
+
+/// Replays and telemetry-off replays interleaved; returns the best
+/// (lowest) wall-clock seconds seen for (instrumented, disabled).
+fn time_overhead(
+    recognizer: &Recognizer,
+    reports: &[TagReport],
+    trials: u32,
+    rounds: u32,
+) -> Result<(f64, f64), RfipadError> {
+    let restore = obs::max_level();
+    let timed = |level: obs::Level| -> Result<f64, RfipadError> {
+        obs::set_level(level);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            std::hint::black_box(replay_online(recognizer, reports)?);
+        }
+        Ok(start.elapsed().as_secs_f64())
+    };
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    let result = (|| {
+        for _ in 0..trials {
+            best_on = best_on.min(timed(obs::Level::Info)?);
+            best_off = best_off.min(timed(obs::Level::Off)?);
+        }
+        Ok(())
+    })();
+    obs::set_level(restore);
+    result.map(|()| (best_on, best_off))
+}
+
+fn stats(path: &str, bench_overhead: bool) -> Result<(), RfipadError> {
+    let reports = read_trace(path)?;
+    obs::info!("rebuilding golden bench");
+    let bench = golden_bench();
+
+    // The instrumented replay populates the process-global registry:
+    // stage histograms, pipeline counters, reader counters from the
+    // trace decode above.
+    let (strokes, letter) = replay_online(&bench.recognizer, &reports)?;
+    obs::info!("replayed trace"; reports = reports.len(), strokes = strokes,
+        letter = format!("{letter:?}"));
+
+    let text = obs::registry().render_prometheus();
+    obs::expo::validate(&text)
+        .map_err(|e| RfipadError::Source(format!("exposition failed validation: {e}")))?;
+    print!("{text}");
+
+    if bench_overhead {
+        obs::info!("timing instrumented vs disabled-telemetry replays");
+        let (rounds, trials) = (10u32, 3u32);
+        let (on_s, off_s) = time_overhead(&bench.recognizer, &reports, trials, rounds)?;
+        let per_mode = u64::from(rounds) * reports.len() as u64;
+        let on_rps = per_mode as f64 / on_s;
+        let off_rps = per_mode as f64 / off_s;
+        let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+        let entry = format!(
+            "{{ \"reports\": {}, \"rounds_per_mode\": {rounds}, \
+             \"instrumented_reports_per_s\": {on_rps:.0}, \
+             \"disabled_reports_per_s\": {off_rps:.0}, \
+             \"overhead_pct\": {overhead_pct:.2} }}",
+            reports.len()
+        );
+        experiments::benchjson::merge_entry("telemetry_overhead", &entry)
+            .map_err(|e| RfipadError::Source(format!("BENCH_pipeline.json: {e}")))?;
+        obs::info!("merged telemetry_overhead into BENCH_pipeline.json";
+            overhead_pct = format!("{overhead_pct:.2}"));
+        if overhead_pct > 3.0 {
+            obs::warn!("telemetry overhead above the 3% budget";
+                overhead_pct = format!("{overhead_pct:.2}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -159,12 +266,14 @@ fn main() -> ExitCode {
         },
         [cmd, path] if cmd == "inspect" => inspect(path),
         [cmd, path] if cmd == "replay" => replay(path),
+        [cmd, path] if cmd == "stats" => stats(path, false),
+        [cmd, path, flag] if cmd == "stats" && flag == "--bench" => stats(path, true),
         _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("{e}");
             ExitCode::FAILURE
         }
     }

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod golden;
 pub mod multiplex;
 pub mod report;

@@ -1,0 +1,195 @@
+//! A minimal metrics endpoint on `std::net::TcpListener`.
+//!
+//! One background thread accepts connections and answers two GET routes:
+//! `/metrics` (Prometheus text) and `/stats.json` (JSON snapshot). The
+//! render callback runs per request, so the server always serves fresh
+//! values and the caller can refresh derived gauges first.
+//!
+//! Security note: there is no TLS and no authentication — bind to
+//! loopback (`127.0.0.1:0`) or a firewalled interface only, exactly like a
+//! bare Prometheus client endpoint (see DESIGN.md §Observability).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which sink a request resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFormat {
+    /// `/metrics`: Prometheus text exposition.
+    Prometheus,
+    /// `/stats.json`: JSON snapshot.
+    Json,
+}
+
+/// Renders a sink on demand; runs on the server thread per request.
+pub type RenderFn = Arc<dyn Fn(SinkFormat) -> String + Send + Sync>;
+
+/// Handle to a running metrics endpoint; shuts the thread down on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Poll interval of the accept loop; bounds shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Starts a metrics endpoint on `addr` (e.g. `"127.0.0.1:0"`).
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: &str, render: RenderFn) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-metrics".into())
+        .spawn(move || accept_loop(listener, render, stop_flag))
+        .expect("spawn metrics thread");
+    crate::info!("metrics endpoint listening"; addr = bound);
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, render: RenderFn, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = handle_request(stream, &render) {
+                    crate::debug!("metrics request failed: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                crate::warn!("metrics accept error: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn handle_request(mut stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut read = 0usize;
+    // Read until the end of the request head (or the buffer fills — any
+    // legitimate GET fits easily).
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                read += n;
+                if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..read]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n".to_string(),
+        )
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            render(SinkFormat::Prometheus),
+        )
+    } else if path == "/stats.json" || path == "/json" || path.starts_with("/stats.json?") {
+        ("200 OK", "application/json", render(SinkFormat::Json))
+    } else {
+        (
+            "404 Not Found",
+            "text/plain",
+            "routes: /metrics /stats.json\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_both_sinks_and_404s() {
+        let render: RenderFn = Arc::new(|format| match format {
+            SinkFormat::Prometheus => "demo_total 1\n".to_string(),
+            SinkFormat::Json => "{\"demo_total\":1}".to_string(),
+        });
+        let server = serve("127.0.0.1:0", render).expect("bind loopback");
+        let addr = server.addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("demo_total 1"));
+        assert!(text.contains("Content-Type: text/plain"));
+
+        let json = get(addr, "/stats.json");
+        assert!(json.contains("{\"demo_total\":1}"));
+        assert!(json.contains("application/json"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        drop(server); // joins the thread; a second bind of the port works
+    }
+}

@@ -67,6 +67,7 @@ pub mod protocol;
 pub mod reader;
 pub mod report;
 pub mod source;
+pub(crate) mod telemetry;
 pub mod trace;
 
 pub use epc::Epc96;

@@ -156,10 +156,22 @@ impl Gen2Reader {
             }
         }
 
-        ReaderRun {
-            events,
-            stats: *inventory.stats(),
-        }
+        let stats = *inventory.stats();
+        // Counter updates are batched per run, off the per-slot hot path.
+        let metrics = crate::telemetry::reader_metrics();
+        metrics.reads.add(events.len() as u64);
+        metrics.rounds.add(stats.rounds);
+        metrics.slots_empty.add(stats.empties);
+        metrics.slots_collision.add(stats.collisions);
+        metrics.slots_success.add(stats.successes);
+        obs::debug!(
+            "reader run complete";
+            reads = events.len(),
+            rounds = stats.rounds,
+            efficiency = format!("{:.3}", stats.efficiency())
+        );
+
+        ReaderRun { events, stats }
     }
 }
 

@@ -228,6 +228,8 @@ impl<R: BufRead> ReportSource for TraceSource<R> {
         match self.next_inner() {
             Ok(next) => next,
             Err(e) => {
+                crate::telemetry::reader_metrics().decode_errors.inc();
+                obs::warn!("trace decode error terminated the stream: {e}");
                 self.error = Some(e.into());
                 None
             }

@@ -1,0 +1,61 @@
+//! Reader-layer metrics, registered once in the process-global
+//! [`obs::registry()`].
+//!
+//! The hot paths only touch cached `Arc<Counter>`s (one relaxed atomic add
+//! each); the registry mutex is taken exactly once, on first use. Metric
+//! names follow the workspace scheme (DESIGN.md §Observability):
+//! `rfid_reader_*`, counters suffixed `_total`.
+
+use obs::Counter;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles to every reader-layer metric.
+pub(crate) struct ReaderMetrics {
+    /// Tag reports emitted by reader runs.
+    pub reads: Arc<Counter>,
+    /// Inventory rounds completed.
+    pub rounds: Arc<Counter>,
+    /// Slots with no reply.
+    pub slots_empty: Arc<Counter>,
+    /// Slots with colliding replies.
+    pub slots_collision: Arc<Counter>,
+    /// Successful singulations.
+    pub slots_success: Arc<Counter>,
+    /// Trace records that failed to decode in a [`crate::source::TraceSource`].
+    pub decode_errors: Arc<Counter>,
+}
+
+/// The lazily registered reader metrics.
+pub(crate) fn reader_metrics() -> &'static ReaderMetrics {
+    static METRICS: OnceLock<ReaderMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        let slots = |outcome: &'static str| {
+            r.counter(
+                "rfid_reader_slots_total",
+                "Inventory slots by outcome (empty, collision, success).",
+                &[("outcome", outcome)],
+            )
+        };
+        ReaderMetrics {
+            reads: r.counter(
+                "rfid_reader_reads_total",
+                "Tag reports emitted by reader runs.",
+                &[],
+            ),
+            rounds: r.counter(
+                "rfid_reader_inventory_rounds_total",
+                "Gen2 inventory rounds completed.",
+                &[],
+            ),
+            slots_empty: slots("empty"),
+            slots_collision: slots("collision"),
+            slots_success: slots("success"),
+            decode_errors: r.counter(
+                "rfid_reader_trace_decode_errors_total",
+                "Trace records that failed to decode in a TraceSource.",
+                &[],
+            ),
+        }
+    })
+}

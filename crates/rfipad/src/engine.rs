@@ -92,6 +92,7 @@ impl Default for EngineConfig {
 #[must_use = "call .build() to start the engine"]
 pub struct EngineBuilder {
     config: EngineConfig,
+    metrics_addr: Option<String>,
 }
 
 impl EngineBuilder {
@@ -122,13 +123,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Serve the process-global metrics registry over HTTP on `addr`
+    /// (e.g. `"127.0.0.1:9184"`; port 0 picks an ephemeral port). Off by
+    /// default. `GET /metrics` returns Prometheus text exposition,
+    /// `GET /stats.json` the engine's JSON snapshot. The endpoint is
+    /// unauthenticated — bind it to loopback unless the network is
+    /// trusted (see DESIGN.md §Observability).
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
     /// Validates the configuration, spawns the worker pool, and returns
     /// the running engine.
     ///
     /// # Errors
     ///
-    /// Returns [`RfipadError::InvalidConfig`] if `queue_capacity` is zero
-    /// or `idle_eviction_factor` is not positive.
+    /// Returns [`RfipadError::InvalidConfig`] if `queue_capacity` is zero,
+    /// `idle_eviction_factor` is not positive, or the metrics endpoint
+    /// fails to bind.
     pub fn build(self) -> Result<Engine, RfipadError> {
         let mut config = self.config;
         if config.queue_capacity == 0 {
@@ -146,7 +159,18 @@ impl EngineBuilder {
                 .map(|n| n.get())
                 .unwrap_or(1);
         }
-        Ok(Engine::start(config))
+        let mut engine = Engine::start(config);
+        if let Some(addr) = self.metrics_addr {
+            let shared = Arc::clone(&engine.shared);
+            let render: obs::serve::RenderFn =
+                Arc::new(move |format| render_metrics(&shared, format));
+            let server = obs::serve::serve(&addr, render).map_err(|e| {
+                RfipadError::InvalidConfig(format!("metrics endpoint bind failed on {addr}: {e}"))
+            })?;
+            obs::info!("metrics endpoint listening"; addr = server.addr());
+            engine.metrics = Some(server);
+        }
+        Ok(engine)
     }
 }
 
@@ -160,57 +184,34 @@ struct Counters {
     events_out: AtomicU64,
 }
 
-/// Sliding window of push latencies with a hand-rolled percentile
-/// snapshot — no histogram dependency.
+/// Per-session push-latency window, backed by the shared observability
+/// histogram: an *unregistered* [`obs::Histogram`] keeps the exact
+/// per-session percentile window (same sliding window and percentile
+/// formula as before the obs migration), while the process-global
+/// `rfipad_engine_push_latency_us` family aggregates across sessions.
 #[derive(Debug)]
 struct LatencyRecorder {
-    samples: Vec<u32>,
-    next: usize,
-    count: u64,
-    max_us: u32,
+    hist: obs::Histogram,
 }
-
-const LATENCY_WINDOW: usize = 4096;
 
 impl LatencyRecorder {
     fn new() -> Self {
         Self {
-            samples: Vec::new(),
-            next: 0,
-            count: 0,
-            max_us: 0,
+            hist: obs::Histogram::new(obs::metrics::DEFAULT_DURATION_BOUNDS_US),
         }
     }
 
-    fn record(&mut self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u32::MAX)) as u32;
-        self.count += 1;
-        self.max_us = self.max_us.max(us);
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(us);
-        } else {
-            self.samples[self.next] = us;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
+    fn record(&self, elapsed: Duration) {
+        self.hist.record_duration(elapsed);
     }
 
     fn snapshot(&self) -> LatencySnapshot {
-        if self.samples.is_empty() {
-            return LatencySnapshot {
-                count: 0,
-                p50_us: 0,
-                p99_us: 0,
-                max_us: 0,
-            };
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize] as u64;
+        let snap = self.hist.snapshot();
         LatencySnapshot {
-            count: self.count,
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-            max_us: u64::from(self.max_us),
+            count: snap.count,
+            p50_us: snap.p50,
+            p99_us: snap.p99,
+            max_us: snap.max,
         }
     }
 }
@@ -306,14 +307,18 @@ fn schedule(shared: &Shared, sess: &Arc<SessionInner>) -> Result<(), RfipadError
 /// Processes everything currently queued for a session, then flushes the
 /// pipeline if a close or eviction asked for it.
 fn drain_session(shared: &Shared, sess: &SessionInner) {
+    let em = crate::telemetry::engine_metrics();
     while let Ok(report) = sess.queue_rx.try_recv() {
         let t0 = Instant::now();
         let mut state = sess.state.lock().expect("session state poisoned");
         let events = state.pipeline.push(report);
-        state.latency.record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        state.latency.record(elapsed);
+        em.push_latency.record_duration(elapsed);
         let n = events.len() as u64;
         sess.counters.events_out.fetch_add(n, Ordering::Relaxed);
         shared.totals.events_out.fetch_add(n, Ordering::Relaxed);
+        em.events_out.add(n);
         state.events.extend(events);
     }
     if sess.finishing.load(Ordering::SeqCst)
@@ -325,6 +330,7 @@ fn drain_session(shared: &Shared, sess: &SessionInner) {
         let n = events.len() as u64;
         sess.counters.events_out.fetch_add(n, Ordering::Relaxed);
         shared.totals.events_out.fetch_add(n, Ordering::Relaxed);
+        em.events_out.add(n);
         state.events.extend(events);
         sess.finished.store(true, Ordering::SeqCst);
         drop(state);
@@ -384,6 +390,8 @@ fn begin_finish(shared: &Shared, sess: &Arc<SessionInner>) -> Result<(), RfipadE
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The opt-in HTTP exposition endpoint; stops when the engine drops.
+    metrics: Option<obs::serve::MetricsServer>,
 }
 
 impl fmt::Debug for Engine {
@@ -431,7 +439,11 @@ impl Engine {
                     .expect("spawn engine worker")
             })
             .collect();
-        Self { shared, workers }
+        Self {
+            shared,
+            workers,
+            metrics: None,
+        }
     }
 
     /// The engine's configuration (with `workers` resolved).
@@ -488,6 +500,10 @@ impl Engine {
             sessions.insert(id, Arc::clone(&sess));
         }
         self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        let em = crate::telemetry::engine_metrics();
+        em.sessions_opened.inc();
+        em.sessions_open.add(1);
+        obs::debug!("session opened"; session = sess.id, worker = sess.worker);
         Ok(SessionHandle {
             shared: Arc::clone(&self.shared),
             inner: sess,
@@ -542,27 +558,42 @@ impl Engine {
         self.shared
             .sessions_evicted
             .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        if !evicted.is_empty() {
+            let em = crate::telemetry::engine_metrics();
+            em.sessions_evicted.add(evicted.len() as u64);
+            em.sessions_open.add(-(evicted.len() as i64));
+            for id in &evicted {
+                remove_session_series(id);
+                obs::info!("idle session evicted"; session = id);
+            }
+        }
         evicted
     }
 
     /// A consistent snapshot of engine-wide and per-session counters.
     pub fn stats(&self) -> EngineStats {
-        let mut sessions: Vec<SessionStats> = {
-            let map = self.shared.sessions.lock().expect("session map poisoned");
-            map.values().map(|s| session_stats(s)).collect()
-        };
-        sessions.sort_by(|a, b| a.id.cmp(&b.id));
-        EngineStats {
-            workers: self.shared.config.workers,
-            sessions_open: sessions.len(),
-            sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: self.shared.sessions_closed.load(Ordering::Relaxed),
-            sessions_evicted: self.shared.sessions_evicted.load(Ordering::Relaxed),
-            reports_in: self.shared.totals.reports_in.load(Ordering::Relaxed),
-            reports_dropped: self.shared.totals.reports_dropped.load(Ordering::Relaxed),
-            events_out: self.shared.totals.events_out.load(Ordering::Relaxed),
-            sessions,
-        }
+        engine_stats(&self.shared)
+    }
+
+    /// The bound address of the metrics endpoint, if one was requested
+    /// via [`EngineBuilder::metrics_addr`].
+    pub fn metrics_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().map(|s| s.addr())
+    }
+
+    /// Prometheus text exposition of the process-global metrics registry,
+    /// with this engine's per-session gauges refreshed first. The same
+    /// body `GET /metrics` serves when the endpoint is enabled.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared, obs::serve::SinkFormat::Prometheus)
+    }
+
+    /// JSON snapshot: an [`EngineStats`] superset — engine-wide and
+    /// per-session statistics under `"engine"`, the full registry under
+    /// `"metrics"`. The same body `GET /stats.json` serves when the
+    /// endpoint is enabled.
+    pub fn metrics_json(&self) -> String {
+        render_metrics(&self.shared, obs::serve::SinkFormat::Json)
     }
 
     /// Flushes every open session, stops the workers, and joins them.
@@ -575,6 +606,8 @@ impl Engine {
         if self.shared.down.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.metrics = None; // stop serving before the flush
+
         let drained: Vec<Arc<SessionInner>> = {
             let mut sessions = self.shared.sessions.lock().expect("session map poisoned");
             sessions.drain().map(|(_, s)| s).collect()
@@ -588,6 +621,15 @@ impl Engine {
         self.shared
             .sessions_closed
             .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        if !drained.is_empty() {
+            let em = crate::telemetry::engine_metrics();
+            em.sessions_closed.add(drained.len() as u64);
+            em.sessions_open.add(-(drained.len() as i64));
+            for sess in &drained {
+                remove_session_series(&sess.id);
+            }
+        }
+        obs::info!("engine shut down"; sessions_flushed = drained.len());
         // Closing the mailboxes ends the worker loops.
         self.shared
             .mailboxes
@@ -604,6 +646,136 @@ impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+fn engine_stats(shared: &Shared) -> EngineStats {
+    let mut sessions: Vec<SessionStats> = {
+        let map = shared.sessions.lock().expect("session map poisoned");
+        map.values().map(|s| session_stats(s)).collect()
+    };
+    sessions.sort_by(|a, b| a.id.cmp(&b.id));
+    EngineStats {
+        workers: shared.config.workers,
+        sessions_open: sessions.len(),
+        sessions_opened: shared.sessions_opened.load(Ordering::Relaxed),
+        sessions_closed: shared.sessions_closed.load(Ordering::Relaxed),
+        sessions_evicted: shared.sessions_evicted.load(Ordering::Relaxed),
+        reports_in: shared.totals.reports_in.load(Ordering::Relaxed),
+        reports_dropped: shared.totals.reports_dropped.load(Ordering::Relaxed),
+        events_out: shared.totals.events_out.load(Ordering::Relaxed),
+        sessions,
+    }
+}
+
+/// Session-labelled gauge families published at scrape time.
+const SESSION_GAUGES: [(&str, &str); 3] = [
+    (
+        "rfipad_session_queue_depth",
+        "Reports currently queued for the session.",
+    ),
+    (
+        "rfipad_session_pending_events",
+        "Events produced but not yet drained by the session handle.",
+    ),
+    (
+        "rfipad_session_reports_dropped",
+        "Reports dropped from the session queue by backpressure.",
+    ),
+];
+
+/// Publishes per-session queue/drop gauges onto the global registry.
+/// Runs at scrape time rather than on the hot path: gauge registration
+/// takes the registry lock, which feed/drain must never wait on.
+fn refresh_session_gauges(shared: &Shared) {
+    let r = obs::registry();
+    let map = shared.sessions.lock().expect("session map poisoned");
+    for sess in map.values() {
+        let labels = [("session", sess.id.as_str())];
+        let set = |(name, help): (&str, &str), value: i64| {
+            r.gauge(name, help, &labels).set(value);
+        };
+        set(SESSION_GAUGES[0], sess.queue_rx.len() as i64);
+        let pending = sess
+            .state
+            .lock()
+            .expect("session state poisoned")
+            .events
+            .len();
+        set(SESSION_GAUGES[1], pending as i64);
+        set(
+            SESSION_GAUGES[2],
+            sess.counters.reports_dropped.load(Ordering::Relaxed) as i64,
+        );
+    }
+}
+
+/// Drops a dead session's labelled series from the registry so closed
+/// sessions do not linger in the exposition.
+fn remove_session_series(id: &str) {
+    let r = obs::registry();
+    for (name, _) in SESSION_GAUGES {
+        r.remove_matching(name, "session", id);
+    }
+}
+
+/// Renders one of the two sinks with this engine's session gauges fresh.
+fn render_metrics(shared: &Shared, format: obs::serve::SinkFormat) -> String {
+    refresh_session_gauges(shared);
+    match format {
+        obs::serve::SinkFormat::Prometheus => obs::registry().render_prometheus(),
+        obs::serve::SinkFormat::Json => stats_json(shared),
+    }
+}
+
+/// The engine's JSON sink: an [`EngineStats`] superset with the full
+/// registry snapshot attached.
+fn stats_json(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let stats = engine_stats(shared);
+    let mut out = String::from("{\"engine\":{");
+    let _ = write!(
+        out,
+        "\"workers\":{},\"sessions_open\":{},\"sessions_opened\":{},\
+         \"sessions_closed\":{},\"sessions_evicted\":{},\"reports_in\":{},\
+         \"reports_dropped\":{},\"events_out\":{},\"sessions\":[",
+        stats.workers,
+        stats.sessions_open,
+        stats.sessions_opened,
+        stats.sessions_closed,
+        stats.sessions_evicted,
+        stats.reports_in,
+        stats.reports_dropped,
+        stats.events_out,
+    );
+    for (i, s) in stats.sessions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"worker\":{},\"reports_in\":{},\"reports_dropped\":{},\
+             \"events_out\":{},\"out_of_order\":{},\"pending_events\":{},\
+             \"queue_depth\":{},\"closed\":{},\"push_latency\":{{\"count\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}}}",
+            obs::expo::escape_json(&s.id),
+            s.worker,
+            s.reports_in,
+            s.reports_dropped,
+            s.events_out,
+            s.out_of_order,
+            s.pending_events,
+            s.queue_depth,
+            s.closed,
+            s.push_latency.count,
+            s.push_latency.p50_us,
+            s.push_latency.p99_us,
+            s.push_latency.max_us,
+        );
+    }
+    out.push_str("]},\"metrics\":");
+    out.push_str(&obs::registry().render_json());
+    out.push('}');
+    out
 }
 
 fn session_stats(sess: &SessionInner) -> SessionStats {
@@ -711,6 +883,7 @@ impl SessionHandle {
     /// evicted; [`RfipadError::EngineDown`] after engine shutdown.
     pub fn feed(&self, report: TagReport) -> Result<(), RfipadError> {
         let sess = &self.inner;
+        let em = crate::telemetry::engine_metrics();
         if self.shared.down.load(Ordering::SeqCst) {
             return Err(RfipadError::EngineDown);
         }
@@ -740,6 +913,7 @@ impl SessionHandle {
                                     .totals
                                     .reports_dropped
                                     .fetch_add(1, Ordering::Relaxed);
+                                em.reports_dropped.inc();
                             }
                         }
                         Err(TrySendError::Disconnected(_)) => {
@@ -754,6 +928,7 @@ impl SessionHandle {
             .totals
             .reports_in
             .fetch_add(1, Ordering::Relaxed);
+        em.reports_in.inc();
         sess.last_fed_us.store(
             self.shared.epoch.elapsed().as_micros() as u64,
             Ordering::Relaxed,
@@ -823,6 +998,11 @@ impl SessionHandle {
         let mut sessions = self.shared.sessions.lock().expect("session map poisoned");
         if sessions.remove(&sess.id).is_some() {
             self.shared.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            let em = crate::telemetry::engine_metrics();
+            em.sessions_closed.inc();
+            em.sessions_open.add(-1);
+            remove_session_series(&sess.id);
+            obs::debug!("session closed"; session = sess.id, events = events.len());
         }
         drop(sessions);
         Ok(events)
@@ -1193,6 +1373,7 @@ mod tests {
         let revived = Engine {
             shared,
             workers: Vec::new(),
+            metrics: None,
         };
         assert!(matches!(
             revived.open_session("ghost", quiet_pipeline()),
@@ -1227,7 +1408,7 @@ mod tests {
 
     #[test]
     fn latency_recorder_percentiles_are_ordered() {
-        let mut rec = LatencyRecorder::new();
+        let rec = LatencyRecorder::new();
         assert_eq!(rec.snapshot().count, 0);
         for us in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 100] {
             rec.record(Duration::from_micros(us));
@@ -1237,6 +1418,43 @@ mod tests {
         assert_eq!(snap.max_us, 100);
         assert!(snap.p50_us <= snap.p99_us);
         assert!(snap.p99_us <= snap.max_us);
+    }
+
+    #[test]
+    fn metrics_sinks_cover_engine_and_sessions() {
+        let engine = Engine::builder()
+            .workers(1)
+            .metrics_addr("127.0.0.1:0")
+            .build()
+            .expect("engine");
+        let session = engine
+            .open_session("meter-ep", quiet_pipeline())
+            .expect("open");
+        for o in quiet_reports(10) {
+            session.feed(o).expect("feed");
+        }
+        // In-process sinks.
+        let text = engine.metrics_text();
+        obs::expo::validate(&text).expect("valid exposition");
+        assert!(text.contains("rfipad_engine_reports_in_total"));
+        assert!(text.contains("rfipad_session_queue_depth{session=\"meter-ep\"}"));
+        let json = engine.metrics_json();
+        assert!(json.contains("\"engine\":{"));
+        assert!(json.contains("\"id\":\"meter-ep\""));
+        assert!(json.contains("\"metrics\":{"));
+        // Over HTTP.
+        let addr = engine.metrics_local_addr().expect("endpoint address");
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        use std::io::{Read as _, Write as _};
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("rfipad_engine_sessions_opened_total"));
+        session.close().expect("close");
+        // Closed sessions drop their labelled series at the next render.
+        let text = engine.metrics_text();
+        assert!(!text.contains("session=\"meter-ep\""));
     }
 
     #[test]

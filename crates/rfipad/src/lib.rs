@@ -74,6 +74,7 @@ pub mod pipeline;
 pub mod recognizer;
 pub mod segmentation;
 pub mod streams;
+pub(crate) mod telemetry;
 pub mod words;
 
 pub use calibration::Calibration;

@@ -209,11 +209,21 @@ impl OnlinePipeline {
     /// [`OnlinePipeline::finish`] resumes the stream.
     pub fn push(&mut self, mut obs: TagReport) -> Vec<PipelineEvent> {
         self.finished = false;
+        let metrics = crate::telemetry::stage_metrics();
+        metrics.reports.inc();
         if obs.time < self.last_time {
             self.out_of_order_count += 1;
+            // Mirror into the durable registry counters: the per-pipeline
+            // count above dies with the session, these survive eviction.
             match self.out_of_order {
-                OutOfOrderPolicy::Clamp => obs.time = self.last_time,
-                OutOfOrderPolicy::Drop => return Vec::new(),
+                OutOfOrderPolicy::Clamp => {
+                    metrics.out_of_order_clamped.inc();
+                    obs.time = self.last_time;
+                }
+                OutOfOrderPolicy::Drop => {
+                    metrics.out_of_order_dropped.inc();
+                    return Vec::new();
+                }
             }
         }
         self.last_time = obs.time;
@@ -268,9 +278,16 @@ impl OnlinePipeline {
 
     fn process(&mut self, now: f64) -> Vec<PipelineEvent> {
         let mut events = Vec::new();
+        let metrics = crate::telemetry::stage_metrics();
         let compute_start = Instant::now();
-        let streams = self.recognizer.streams(&self.buffer);
-        let segmentation = self.recognizer.segment(&streams);
+        let streams = {
+            let _span = obs::span!(metrics.framing);
+            self.recognizer.streams(&self.buffer)
+        };
+        let segmentation = {
+            let _span = obs::span!(metrics.segmentation);
+            self.recognizer.segment(&streams)
+        };
 
         // Report every span that ended long enough ago and is new.
         for &span in &segmentation.spans {
@@ -281,9 +298,14 @@ impl OnlinePipeline {
                 .any(|&s| (s - span.start).abs() < 0.25);
             if confirmed && !already {
                 let stroke_t0 = Instant::now();
-                if let Some(stroke) = self.recognizer.recognize_span(&streams, span) {
+                let recognized = {
+                    let _span = obs::span!(metrics.motion);
+                    self.recognizer.recognize_span(&streams, span)
+                };
+                if let Some(stroke) = recognized {
                     self.reported_spans.push(span.start);
                     self.pending_strokes.push(stroke.clone());
+                    metrics.strokes.inc();
                     events.push(PipelineEvent::StrokeDetected {
                         stroke,
                         response_time_s: stroke_t0.elapsed().as_secs_f64()
@@ -293,6 +315,12 @@ impl OnlinePipeline {
                 } else {
                     // Unclassifiable span: remember it so we do not retry
                     // forever.
+                    metrics.rejected_spans.inc();
+                    obs::debug!(
+                        "rejected unclassifiable span";
+                        start = format!("{:.2}", span.start),
+                        end = format!("{:.2}", span.end)
+                    );
                     self.reported_spans.push(span.start);
                 }
             }
@@ -317,7 +345,11 @@ impl OnlinePipeline {
                     .iter()
                     .map(|s| s.to_observed(self.recognizer.layout()))
                     .collect();
-                let letter = self.recognizer.grammar().deduce_fuzzy(&observed);
+                let letter = {
+                    let _span = obs::span!(metrics.grammar);
+                    self.recognizer.grammar().deduce_fuzzy(&observed)
+                };
+                metrics.letters.inc();
                 let strokes = std::mem::take(&mut self.pending_strokes);
                 let letter_end = strokes.last().map(|s| s.span.end).unwrap_or(now);
                 events.push(PipelineEvent::LetterRecognized {

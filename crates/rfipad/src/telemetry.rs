@@ -1,0 +1,194 @@
+//! Pipeline- and engine-layer metrics on the process-global registry.
+//!
+//! All handles are registered once (on first use) and cached in statics,
+//! so the recognition hot path only ever performs relaxed atomic ops.
+//! Stage histograms are process-wide aggregates across every live
+//! pipeline — the "which stage is slow" view — while per-session state
+//! stays in [`crate::engine`]'s own statistics.
+//!
+//! Naming follows DESIGN.md §Observability: `rfipad_stage_*`,
+//! `rfipad_pipeline_*`, `rfipad_engine_*`, `rfipad_session_*`.
+
+use obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Name of the per-stage duration histogram family.
+pub const STAGE_DURATION_METRIC: &str = "rfipad_stage_duration_us";
+
+/// Cached handles for the online pipeline's stage instrumentation.
+pub(crate) struct StageMetrics {
+    /// Per-tag stream building (framing input, §III-A).
+    pub framing: Arc<Histogram>,
+    /// Stroke segmentation (Eq. 11–12).
+    pub segmentation: Arc<Histogram>,
+    /// Motion classification of one confirmed span (§III-C2).
+    pub motion: Arc<Histogram>,
+    /// Grammar deduction closing a letter (§III-D).
+    pub grammar: Arc<Histogram>,
+    /// Reports consumed by pipelines.
+    pub reports: Arc<Counter>,
+    /// Stale reports clamped forward (OutOfOrderPolicy::Clamp).
+    pub out_of_order_clamped: Arc<Counter>,
+    /// Stale reports discarded (OutOfOrderPolicy::Drop).
+    pub out_of_order_dropped: Arc<Counter>,
+    /// Confirmed spans the motion classifier rejected as unclassifiable.
+    pub rejected_spans: Arc<Counter>,
+    /// Strokes reported.
+    pub strokes: Arc<Counter>,
+    /// Letters closed (recognized or not).
+    pub letters: Arc<Counter>,
+}
+
+/// The lazily registered pipeline stage metrics.
+pub(crate) fn stage_metrics() -> &'static StageMetrics {
+    static METRICS: OnceLock<StageMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        let stage = |name: &'static str| {
+            r.histogram(
+                STAGE_DURATION_METRIC,
+                "Wall time per pipeline stage invocation, microseconds.",
+                &[("stage", name)],
+                obs::metrics::DEFAULT_DURATION_BOUNDS_US,
+            )
+        };
+        let ooo = |policy: &'static str| {
+            r.counter(
+                "rfipad_pipeline_out_of_order_total",
+                "Reports that arrived with a stale timestamp, by applied policy.",
+                &[("policy", policy)],
+            )
+        };
+        StageMetrics {
+            framing: stage("framing"),
+            segmentation: stage("segmentation"),
+            motion: stage("motion"),
+            grammar: stage("grammar"),
+            reports: r.counter(
+                "rfipad_pipeline_reports_total",
+                "Tag reports consumed by online pipelines.",
+                &[],
+            ),
+            out_of_order_clamped: ooo("clamp"),
+            out_of_order_dropped: ooo("drop"),
+            rejected_spans: r.counter(
+                "rfipad_pipeline_rejected_spans_total",
+                "Confirmed spans the motion classifier could not classify.",
+                &[],
+            ),
+            strokes: r.counter(
+                "rfipad_pipeline_strokes_total",
+                "Strokes reported by online pipelines.",
+                &[],
+            ),
+            letters: r.counter(
+                "rfipad_pipeline_letters_total",
+                "Letters closed by online pipelines (recognized or not).",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Cached handles for segmentation-quality counters fed by
+/// [`crate::metrics::score_segmentation`].
+pub(crate) struct SegmentationMetrics {
+    /// Detected spans matching no ground-truth stroke (paper Fig. 21).
+    pub insertions: Arc<Counter>,
+    /// Ground-truth strokes with no matching detection.
+    pub underfills: Arc<Counter>,
+}
+
+/// The lazily registered segmentation-quality counters.
+pub(crate) fn segmentation_metrics() -> &'static SegmentationMetrics {
+    static METRICS: OnceLock<SegmentationMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        SegmentationMetrics {
+            insertions: r.counter(
+                "rfipad_segmentation_insertions_total",
+                "Detected spans that match no ground-truth stroke.",
+                &[],
+            ),
+            underfills: r.counter(
+                "rfipad_segmentation_underfills_total",
+                "Ground-truth strokes with no matching detected span.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Cached handles for engine-wide aggregates. Counters are process-wide:
+/// they survive session eviction and engine shutdown, unlike the
+/// per-session statistics that are lost when a session is swept (the
+/// registry is the durable sink for drop/clamp totals).
+pub(crate) struct EngineMetrics {
+    /// Reports accepted into session queues.
+    pub reports_in: Arc<Counter>,
+    /// Reports dropped by DropOldest backpressure.
+    pub reports_dropped: Arc<Counter>,
+    /// Events emitted to session handles.
+    pub events_out: Arc<Counter>,
+    /// Sessions opened.
+    pub sessions_opened: Arc<Counter>,
+    /// Sessions closed (explicitly or by engine shutdown).
+    pub sessions_closed: Arc<Counter>,
+    /// Sessions evicted by the idle sweeper.
+    pub sessions_evicted: Arc<Counter>,
+    /// Push latency across all sessions, microseconds.
+    pub push_latency: Arc<Histogram>,
+    /// Currently open sessions.
+    pub sessions_open: Arc<obs::Gauge>,
+}
+
+/// The lazily registered engine metrics.
+pub(crate) fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        EngineMetrics {
+            reports_in: r.counter(
+                "rfipad_engine_reports_in_total",
+                "Reports accepted into session queues.",
+                &[],
+            ),
+            reports_dropped: r.counter(
+                "rfipad_engine_reports_dropped_total",
+                "Reports dropped by DropOldest backpressure.",
+                &[],
+            ),
+            events_out: r.counter(
+                "rfipad_engine_events_out_total",
+                "Pipeline events emitted to session handles.",
+                &[],
+            ),
+            sessions_opened: r.counter(
+                "rfipad_engine_sessions_opened_total",
+                "Sessions opened.",
+                &[],
+            ),
+            sessions_closed: r.counter(
+                "rfipad_engine_sessions_closed_total",
+                "Sessions closed explicitly or at engine shutdown.",
+                &[],
+            ),
+            sessions_evicted: r.counter(
+                "rfipad_engine_sessions_evicted_total",
+                "Idle sessions evicted by the sweeper.",
+                &[],
+            ),
+            push_latency: r.histogram(
+                "rfipad_engine_push_latency_us",
+                "Per-report push-to-drain latency across all sessions, microseconds.",
+                &[],
+                obs::metrics::DEFAULT_DURATION_BOUNDS_US,
+            ),
+            sessions_open: r.gauge(
+                "rfipad_engine_sessions_open",
+                "Currently open sessions across all engines.",
+                &[],
+            ),
+        }
+    })
+}

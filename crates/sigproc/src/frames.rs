@@ -15,6 +15,21 @@
 use crate::series::TimeSeries;
 use crate::stats;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// Workspace-wide count of frames cut by [`FrameSeq::build`], registered in
+/// the process-global metric registry. The `Arc` is cached so steady-state
+/// framing costs one relaxed atomic add.
+fn frames_built_counter() -> &'static Arc<obs::Counter> {
+    static COUNTER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        obs::registry().counter(
+            "sigproc_frames_built_total",
+            "Fixed-duration frames cut from per-tag streams (Eq. 11 framing).",
+            &[],
+        )
+    })
+}
 
 /// One fixed-duration frame aggregating all streams.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,6 +116,7 @@ impl FrameSeq {
                 samples,
             });
         }
+        frames_built_counter().add(frames.len() as u64);
         Self { frames }
     }
 

@@ -81,5 +81,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nkiosk read: \"{word}\"");
     assert_eq!(word, "HI");
+
+    // The process-global telemetry registry saw the whole run; these are
+    // the pipeline counters a fleet scraper would collect from the
+    // engine's /metrics endpoint (see EngineBuilder::metrics_addr).
+    println!("\npipeline telemetry:");
+    let exposition = obs::registry().render_prometheus();
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("rfipad_pipeline_"))
+    {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -36,4 +36,22 @@ cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
 echo "== multi-session engine smoke (8 golden-trace replays) =="
 cargo run --release -p experiments --bin engine_bench -- --sessions 8
 
+echo "== telemetry exposition smoke + overhead -> BENCH_pipeline.json =="
+# `stats` self-validates the exposition (names/labels well-formed, no
+# duplicate series) and exits nonzero on a malformed render; --bench merges
+# the telemetry_overhead entry (instrumented vs RFIPAD_LOG=off replay).
+expo=$(cargo run --release -p experiments --bin trace_tool -- \
+  stats tests/data/golden_session.rftrace --bench)
+for family in rfid_reader_reads_total rfipad_stage_duration_us_bucket \
+  rfipad_pipeline_reports_total; do
+  grep -q "^$family" <<<"$expo" || {
+    echo "bench-check: exposition is missing $family" >&2
+    exit 1
+  }
+done
+grep -q '"telemetry_overhead"' BENCH_pipeline.json || {
+  echo "bench-check: telemetry_overhead entry missing from BENCH_pipeline.json" >&2
+  exit 1
+}
+
 echo "bench-check: OK"
