@@ -85,6 +85,45 @@ fn time_trace_replay(bench: &Bench, encoded: &[u8], iters: u32) -> (f64, usize) 
     )
 }
 
+/// Times the serial streaming pipeline over the golden session: every
+/// report pushed through `OnlinePipeline::push_into` (the incremental
+/// framing / cached-streams hot path) plus the final flush. Returns
+/// (reports per second, reports per replay); asserts the letter so a
+/// regression in the incremental path cannot silently score as a speedup.
+fn time_incremental_framing(
+    bench: &Bench,
+    reports: &[rfid_gen2::report::TagReport],
+) -> (f64, usize) {
+    use rfipad::{OnlinePipeline, PipelineEvent};
+    let rounds = 20;
+    let mut events = Vec::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let mut pipeline = OnlinePipeline::builder()
+            .recognizer(bench.recognizer.clone())
+            .letter_gap_s(1.5)
+            .build()
+            .expect("valid pipeline");
+        let mut letter = None;
+        for r in reports {
+            pipeline.push_into(*r, &mut events);
+        }
+        pipeline.finish_into(&mut events);
+        for e in events.drain(..) {
+            if let PipelineEvent::LetterRecognized { letter: l, .. } = e {
+                letter = l;
+            }
+        }
+        assert_eq!(
+            letter,
+            Some(experiments::golden::GOLDEN_LETTER),
+            "incremental replay must still recognize the golden letter"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((rounds * reports.len()) as f64 / elapsed, reports.len())
+}
+
 fn time_run_all(jobs_flag: &str) -> Option<f64> {
     let exe_dir = std::env::current_exe().ok()?.parent()?.to_path_buf();
     let start = Instant::now();
@@ -133,6 +172,9 @@ fn main() {
     let (json_ms, json_bytes) = time_trace_replay(&bench, &json_buf, 20);
     let (bin_ms, bin_bytes) = time_trace_replay(&bench, &bin_buf, 20);
 
+    obs::info!("timing serial streaming replay (incremental framing)");
+    let (framing_rps, framing_reports) = time_incremental_framing(&bench, &golden.reports);
+
     let run_all = if with_run_all {
         obs::info!("timing run_all quick --jobs 1 (serial)");
         let one = time_run_all("1");
@@ -153,15 +195,18 @@ fn main() {
         "  \"scene_observe\": {{ \"cached_ns\": {cached_ns:.1}, \"uncached_ns\": {uncached_ns:.1}, \"speedup\": {observe_speedup:.2} }},\n"
     ));
     json.push_str(&format!(
-        "  \"stroke_batch_13\": {{ \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {batch_speedup:.2} }},\n"
+        "  \"stroke_batch_13\": {{ \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {batch_speedup:.2}, \"cores\": {cores} }},\n"
     ));
     json.push_str(&format!(
         "  \"trace_replay\": {{ \"reports\": {}, \"json_ms\": {json_ms:.2}, \"json_bytes\": {json_bytes}, \"binary_ms\": {bin_ms:.2}, \"binary_bytes\": {bin_bytes} }},\n",
         golden.reports.len()
     ));
+    json.push_str(&format!(
+        "  \"incremental_framing\": {{ \"reports\": {framing_reports}, \"reports_per_s\": {framing_rps:.0} }},\n"
+    ));
     if let Some((one, all)) = run_all {
         json.push_str(&format!(
-            "  \"run_all_quick\": {{ \"jobs1_s\": {one:.1}, \"jobs_all_s\": {all:.1}, \"speedup\": {:.2} }},\n",
+            "  \"run_all_quick\": {{ \"jobs1_s\": {one:.1}, \"jobs_all_s\": {all:.1}, \"speedup\": {:.2}, \"cores\": {cores} }},\n",
             one / all
         ));
     }

@@ -9,13 +9,20 @@
 //! comparison. On success the run merges a `multi_session` entry into
 //! `BENCH_pipeline.json` next to the other perf-trajectory probes.
 //!
-//! Usage: `cargo run --release -p experiments --bin engine_bench [-- \
-//!   --sessions N] [--jobs N] [--capacity N]`
+//! The replay runs twice — once feeding one report per
+//! `SessionHandle::feed` (the `multi_session` entry) and once feeding
+//! `--batch`-sized batches per `SessionHandle::feed_batch` (the
+//! `ingest_batch` entry) — and both modes must reproduce the serial
+//! replay bit for bit.
 //!
-//! Defaults: 8 sessions, one worker per core, 1024-report queues. The
-//! golden trace is read from `tests/data/golden_session.rftrace` when run
-//! from the repo root; a missing trace falls back to re-recording the
-//! golden session live (bit-identical by construction — it is seeded).
+//! Usage: `cargo run --release -p experiments --bin engine_bench [-- \
+//!   --sessions N] [--jobs N] [--capacity N] [--batch N]`
+//!
+//! Defaults: 8 sessions, one worker per core, 1024-item queues, 64-report
+//! batches. The golden trace is read from
+//! `tests/data/golden_session.rftrace` when run from the repo root; a
+//! missing trace falls back to re-recording the golden session live
+//! (bit-identical by construction — it is seeded).
 
 use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER};
 use rfid_gen2::report::TagReport;
@@ -32,6 +39,7 @@ struct Args {
     sessions: usize,
     jobs: usize,
     capacity: usize,
+    batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         sessions: 8,
         jobs: 0,
         capacity: 1024,
+        batch: 64,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,11 +61,15 @@ fn parse_args() -> Result<Args, String> {
             "--sessions" => args.sessions = grab("--sessions")?,
             "--jobs" => args.jobs = grab("--jobs")?,
             "--capacity" => args.capacity = grab("--capacity")?,
+            "--batch" => args.batch = grab("--batch")?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.sessions == 0 {
         return Err("--sessions must be at least 1".into());
+    }
+    if args.batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     Ok(args)
 }
@@ -101,26 +114,28 @@ fn serial_replay(recognizer: &Recognizer, reports: &[TagReport]) -> Vec<Pipeline
     events
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// Outcome of one multi-session replay: wall time, throughput, worst
+/// per-session push latencies.
+struct ReplayStats {
+    wall_s: f64,
+    reports_per_s: f64,
+    worst_p50: u64,
+    worst_p99: u64,
+    workers: usize,
+}
 
-    obs::info!("calibrating golden bench");
-    let bench = golden_bench();
-    let reports = Arc::new(golden_reports(&bench));
-    let expected = Arc::new(serial_replay(&bench.recognizer, &reports));
-    let letters: Vec<_> = expected
-        .iter()
-        .filter_map(|e| match e {
-            PipelineEvent::LetterRecognized { letter, .. } => Some(*letter),
-            _ => None,
-        })
-        .collect();
-    if letters != vec![Some(GOLDEN_LETTER)] {
-        return Err(format!(
-            "serial replay must recognize '{GOLDEN_LETTER}', got {letters:?}"
-        ));
-    }
-
+/// Replays the golden trace through `sessions` concurrent engine sessions
+/// and checks every one against the serial reference. `batch` selects the
+/// feed mode: `None` feeds one report per `feed`, `Some(n)` feeds
+/// `n`-report batches per `feed_batch`. Either way the recognitions must
+/// be bit-identical to the serial replay.
+fn run_replay(
+    bench: &experiments::Bench,
+    reports: &Arc<Vec<TagReport>>,
+    expected: &Arc<Vec<PipelineEvent>>,
+    args: &Args,
+    batch: Option<usize>,
+) -> Result<ReplayStats, String> {
     let engine = Arc::new(
         Engine::builder()
             .workers(args.jobs)
@@ -131,27 +146,40 @@ fn run() -> Result<(), String> {
     );
     let workers = engine.config().workers;
     obs::info!("streaming sessions"; sessions = args.sessions, reports = reports.len(),
-        workers = workers, queue_capacity = args.capacity);
+        workers = workers, queue_capacity = args.capacity,
+        batch = batch.unwrap_or(1));
 
     let start = Instant::now();
     let feeders: Vec<_> = (0..args.sessions)
         .map(|i| {
             let engine = Arc::clone(&engine);
-            let reports = Arc::clone(&reports);
-            let expected = Arc::clone(&expected);
+            let reports = Arc::clone(reports);
+            let expected = Arc::clone(expected);
             let pipeline = session_pipeline(&bench.recognizer);
+            let capacity = args.capacity;
             std::thread::spawn(move || -> Result<LatencySnapshot, String> {
                 let session = engine
                     .open_session(format!("replay-{i}"), pipeline)
                     .map_err(|e| e.to_string())?;
-                for r in reports.iter() {
-                    session.feed(*r).map_err(|e| e.to_string())?;
+                match batch {
+                    None => {
+                        for r in reports.iter() {
+                            session.feed(*r).map_err(|e| e.to_string())?;
+                        }
+                    }
+                    Some(n) => {
+                        for chunk in reports.chunks(n) {
+                            session
+                                .feed_batch(chunk.iter().copied().collect())
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
                 }
                 let stats = session.stats();
-                if stats.queue_depth > args.capacity {
+                if stats.queue_depth > capacity {
                     return Err(format!(
                         "session {i}: queue depth {} exceeds capacity {}",
-                        stats.queue_depth, args.capacity
+                        stats.queue_depth, capacity
                     ));
                 }
                 let mut events = session.close().map_err(|e| e.to_string())?;
@@ -186,27 +214,96 @@ fn run() -> Result<(), String> {
             stats.reports_in, stats.reports_dropped
         ));
     }
-    let throughput = total_reports as f64 / wall_s;
-    println!(
-        "{} sessions replayed '{GOLDEN_LETTER}' identically in {wall_s:.3} s \
-         ({throughput:.0} reports/s; worst per-session push p50 {worst_p50} µs, p99 {worst_p99} µs)",
-        args.sessions
-    );
+    Ok(ReplayStats {
+        wall_s,
+        reports_per_s: total_reports as f64 / wall_s,
+        worst_p50,
+        worst_p99,
+        workers,
+    })
+}
 
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    obs::info!("calibrating golden bench");
+    let bench = golden_bench();
+    let reports = Arc::new(golden_reports(&bench));
+    let expected = Arc::new(serial_replay(&bench.recognizer, &reports));
+    let letters: Vec<_> = expected
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::LetterRecognized { letter, .. } => Some(*letter),
+            _ => None,
+        })
+        .collect();
+    if letters != vec![Some(GOLDEN_LETTER)] {
+        return Err(format!(
+            "serial replay must recognize '{GOLDEN_LETTER}', got {letters:?}"
+        ));
+    }
+
+    let per_report = run_replay(&bench, &reports, &expected, &args, None)?;
+    println!(
+        "{} sessions replayed '{GOLDEN_LETTER}' identically in {:.3} s \
+         ({:.0} reports/s; worst per-session push p50 {} µs, p99 {} µs)",
+        args.sessions,
+        per_report.wall_s,
+        per_report.reports_per_s,
+        per_report.worst_p50,
+        per_report.worst_p99,
+    );
     let entry = format!(
-        "{{ \"sessions\": {}, \"workers\": {workers}, \"queue_capacity\": {}, \
-         \"reports_per_session\": {}, \"wall_s\": {wall_s:.3}, \
-         \"reports_per_s\": {throughput:.0}, \"push_p50_us\": {worst_p50}, \
-         \"push_p99_us\": {worst_p99}, \"events_per_session\": {}, \
+        "{{ \"sessions\": {}, \"workers\": {}, \"cores\": {cores}, \"queue_capacity\": {}, \
+         \"reports_per_session\": {}, \"wall_s\": {:.3}, \
+         \"reports_per_s\": {:.0}, \"push_p50_us\": {}, \
+         \"push_p99_us\": {}, \"events_per_session\": {}, \
          \"identical_to_serial\": true }}",
         args.sessions,
+        per_report.workers,
         args.capacity,
         reports.len(),
+        per_report.wall_s,
+        per_report.reports_per_s,
+        per_report.worst_p50,
+        per_report.worst_p99,
         expected.len(),
     );
     experiments::benchjson::merge_entry("multi_session", &entry)
         .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
-    obs::info!("merged multi_session entry into BENCH_pipeline.json");
+
+    let batched = run_replay(&bench, &reports, &expected, &args, Some(args.batch))?;
+    println!(
+        "{} sessions replayed '{GOLDEN_LETTER}' identically in {:.3} s with \
+         {}-report batches ({:.0} reports/s, {:.2}x the per-report feed)",
+        args.sessions,
+        batched.wall_s,
+        args.batch,
+        batched.reports_per_s,
+        batched.reports_per_s / per_report.reports_per_s,
+    );
+    let entry = format!(
+        "{{ \"sessions\": {}, \"workers\": {}, \"cores\": {cores}, \"queue_capacity\": {}, \
+         \"batch\": {}, \"reports_per_session\": {}, \"wall_s\": {:.3}, \
+         \"reports_per_s\": {:.0}, \"push_p50_us\": {}, \"push_p99_us\": {}, \
+         \"events_per_session\": {}, \"identical_to_serial\": true }}",
+        args.sessions,
+        batched.workers,
+        args.capacity,
+        args.batch,
+        reports.len(),
+        batched.wall_s,
+        batched.reports_per_s,
+        batched.worst_p50,
+        batched.worst_p99,
+        expected.len(),
+    );
+    experiments::benchjson::merge_entry("ingest_batch", &entry)
+        .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
+    obs::info!("merged multi_session and ingest_batch entries into BENCH_pipeline.json");
     Ok(())
 }
 

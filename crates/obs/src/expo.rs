@@ -267,9 +267,7 @@ pub fn validate(text: &str) -> Result<(), String> {
 /// Parses one sample line into a normalized `(name{sorted labels})` key and
 /// the value text.
 fn parse_sample(line: &str) -> Result<(String, &str), String> {
-    let name_end = line
-        .find(['{', ' '])
-        .ok_or("missing value")?;
+    let name_end = line.find(['{', ' ']).ok_or("missing value")?;
     let name = &line[..name_end];
     if !valid_metric_name(name) {
         return Err(format!("bad metric name {name:?}"));

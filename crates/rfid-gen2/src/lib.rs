@@ -75,6 +75,6 @@ pub use inventory::{Flag, InventoryStats, QAlgorithm, SearchMode, SlotOutcome};
 pub use link::{LinkParams, TagEncoding};
 pub use protocol::{Command, Reply, Session, TagFsm, TagState, Target};
 pub use reader::{Gen2Reader, ReaderConfig, ReaderRun};
-pub use report::{TagReport, FIXED_CARRIER_CHANNEL};
+pub use report::{ReportBatch, TagReport, FIXED_CARRIER_CHANNEL};
 pub use source::{LiveSource, ReportSource, TraceSource};
 pub use trace::{TraceError, TraceFormat};

@@ -2,9 +2,10 @@
 //! from a [`ReportSource`] without knowing whether they come from a live
 //! reader run, a recorded trace, or (eventually) hardware.
 
-use crate::report::TagReport;
+use crate::report::{ReportBatch, TagReport};
 use crate::trace::{
-    decode_json_line, detect_format, read_binary_record, TraceError, TraceFormat, BINARY_MAGIC,
+    decode_json_line, detect_format, read_binary_record_into, TraceError, TraceFormat,
+    BINARY_MAGIC, BINARY_RECORD_LEN,
 };
 use std::fmt;
 use std::fs::File;
@@ -62,6 +63,29 @@ pub trait ReportSource {
     /// The next report, or `None` at end of stream.
     fn next_report(&mut self) -> Option<TagReport>;
 
+    /// Decodes up to `max` reports into `out`, returning how many were
+    /// appended. Returns `0` only at end of stream (or when `max == 0`), so
+    /// ingest loops can treat it exactly like a batched `next_report`.
+    ///
+    /// `out` is **not** cleared — callers reuse one batch across refills by
+    /// clearing it themselves, which is the point: one allocation and one
+    /// downstream hand-off per batch instead of per report. The default
+    /// implementation loops [`next_report`](Self::next_report); sources
+    /// with cheaper bulk decodes (e.g. binary [`TraceSource`]) override it.
+    fn next_batch(&mut self, max: usize, out: &mut ReportBatch) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_report() {
+                Some(r) => {
+                    out.push(r);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// The error that terminated the stream early, if any. A fully
     /// consumed, well-formed stream leaves this `None`; infallible sources
     /// never set it.
@@ -98,6 +122,10 @@ pub trait ReportSource {
 impl<S: ReportSource + ?Sized> ReportSource for Box<S> {
     fn next_report(&mut self) -> Option<TagReport> {
         (**self).next_report()
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut ReportBatch) -> usize {
+        (**self).next_batch(max, out)
     }
 
     fn error(&self) -> Option<&SourceError> {
@@ -160,6 +188,10 @@ impl<R: BufRead> std::fmt::Debug for TraceStream<R> {
 pub struct TraceSource<R: BufRead = BufReader<File>> {
     stream: TraceStream<R>,
     error: Option<SourceError>,
+    // Decode scratch, reused across records so a replay loop (single-record
+    // or batched) allocates once per source rather than once per record.
+    scratch: Vec<u8>,
+    line: String,
 }
 
 impl TraceSource<BufReader<File>> {
@@ -193,6 +225,8 @@ impl<R: BufRead> TraceSource<R> {
         Ok(Self {
             stream,
             error: None,
+            scratch: Vec::with_capacity(BINARY_RECORD_LEN),
+            line: String::new(),
         })
     }
 
@@ -203,20 +237,32 @@ impl<R: BufRead> TraceSource<R> {
     }
 
     fn next_inner(&mut self) -> Result<Option<TagReport>, TraceError> {
-        match &mut self.stream {
+        let Self {
+            stream,
+            scratch,
+            line,
+            ..
+        } = self;
+        match stream {
             TraceStream::Json { reader, line_no } => loop {
-                let mut line = String::new();
-                if reader.read_line(&mut line)? == 0 {
+                line.clear();
+                if reader.read_line(line)? == 0 {
                     return Ok(None);
                 }
                 *line_no += 1;
                 if line.trim().is_empty() {
                     continue;
                 }
-                return decode_json_line(&line, *line_no).map(Some);
+                return decode_json_line(line, *line_no).map(Some);
             },
-            TraceStream::Binary(reader) => read_binary_record(reader),
+            TraceStream::Binary(reader) => read_binary_record_into(reader, scratch),
         }
+    }
+
+    fn record_error(&mut self, e: TraceError) {
+        crate::telemetry::reader_metrics().decode_errors.inc();
+        obs::warn!("trace decode error terminated the stream: {e}");
+        self.error = Some(e.into());
     }
 }
 
@@ -228,12 +274,32 @@ impl<R: BufRead> ReportSource for TraceSource<R> {
         match self.next_inner() {
             Ok(next) => next,
             Err(e) => {
-                crate::telemetry::reader_metrics().decode_errors.inc();
-                obs::warn!("trace decode error terminated the stream: {e}");
-                self.error = Some(e.into());
+                self.record_error(e);
                 None
             }
         }
+    }
+
+    /// A batched decode sharing the source's scratch buffers: the whole
+    /// refill runs without touching the allocator, and a mid-batch decode
+    /// error ends the batch (and the stream) exactly like
+    /// [`next_report`](ReportSource::next_report) would.
+    fn next_batch(&mut self, max: usize, out: &mut ReportBatch) -> usize {
+        let mut n = 0;
+        while n < max && self.error.is_none() {
+            match self.next_inner() {
+                Ok(Some(r)) => {
+                    out.push(r);
+                    n += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.record_error(e);
+                    break;
+                }
+            }
+        }
+        n
     }
 
     fn error(&self) -> Option<&SourceError> {
@@ -275,6 +341,82 @@ mod tests {
             assert_eq!(src.collect_reports(), reports);
             assert!(src.error().is_none());
         }
+    }
+
+    fn drain_batched(src: &mut impl ReportSource, max: usize) -> Vec<TagReport> {
+        let mut batch = ReportBatch::new();
+        let mut out = Vec::new();
+        loop {
+            batch.clear();
+            let n = src.next_batch(max, &mut batch);
+            assert_eq!(n, batch.len());
+            if n == 0 {
+                return out;
+            }
+            out.extend(batch.iter());
+        }
+    }
+
+    #[test]
+    fn next_batch_matches_serial_for_both_framings() {
+        let reports = sample();
+        for format in [TraceFormat::JsonLines, TraceFormat::Binary] {
+            for max in [1, 2, 5, 64] {
+                let mut buf = Vec::new();
+                write_trace(&mut buf, format, &reports).unwrap();
+                let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+                assert_eq!(
+                    drain_batched(&mut src, max),
+                    reports,
+                    "{format:?} max={max}"
+                );
+                assert!(src.error().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn next_batch_default_impl_covers_live_source() {
+        let reports = sample();
+        let mut src = LiveSource::new(reports.clone());
+        let mut batch = ReportBatch::new();
+        assert_eq!(src.next_batch(3, &mut batch), 3);
+        assert_eq!(src.next_batch(3, &mut batch), 2, "partial final batch");
+        assert_eq!(src.next_batch(3, &mut batch), 0, "exhausted");
+        assert_eq!(batch.iter().collect::<Vec<_>>(), reports);
+    }
+
+    #[test]
+    fn next_batch_appends_without_clearing() {
+        let mut src = LiveSource::new(sample());
+        let mut batch = ReportBatch::new();
+        batch.push(TagReport::synthetic(TagId(42), 9.0, 0.0, -50.0));
+        src.next_batch(2, &mut batch);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0).unwrap().tag, TagId(42));
+    }
+
+    #[test]
+    fn next_batch_surfaces_decode_error_like_serial() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &sample()).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut src = TraceSource::from_reader(buf.as_slice()).unwrap();
+        let mut batch = ReportBatch::new();
+        let n = src.next_batch(64, &mut batch);
+        assert_eq!(n, 4, "well-formed prefix decodes before the error");
+        assert!(src.error().is_some());
+        assert_eq!(src.next_batch(64, &mut batch), 0, "stream stays dead");
+    }
+
+    #[test]
+    fn next_batch_forwards_through_box() {
+        let reports = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &reports).unwrap();
+        let mut boxed: Box<dyn ReportSource + Send> =
+            Box::new(TraceSource::from_reader(buf.as_slice()).unwrap());
+        assert_eq!(drain_batched(&mut boxed, 2), reports);
     }
 
     #[test]

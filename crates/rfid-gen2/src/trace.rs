@@ -210,6 +210,16 @@ pub fn encode_binary_record(r: &TagReport) -> Vec<u8> {
 /// Reads one length-prefixed binary record, or `None` at a clean
 /// end-of-stream.
 pub fn read_binary_record<R: Read>(reader: &mut R) -> Result<Option<TagReport>, TraceError> {
+    let mut scratch = Vec::with_capacity(BINARY_RECORD_LEN);
+    read_binary_record_into(reader, &mut scratch)
+}
+
+/// Like [`read_binary_record`] but decoding through a caller-owned scratch
+/// buffer, so a replay loop allocates once instead of per record.
+pub fn read_binary_record_into<R: Read>(
+    reader: &mut R,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<TagReport>, TraceError> {
     // Read the length prefix byte-wise: zero bytes is a clean end of
     // stream, a *partial* prefix is a truncated frame and must surface as
     // an error, not silently end the trace.
@@ -234,9 +244,10 @@ pub fn read_binary_record<R: Read>(reader: &mut R) -> Result<Option<TagReport>, 
             "record length {len}, expected {BINARY_RECORD_LEN}"
         )));
     }
-    let mut record = vec![0u8; len];
-    reader.read_exact(&mut record)?;
-    let mut buf: &[u8] = &record;
+    scratch.clear();
+    scratch.resize(len, 0);
+    reader.read_exact(scratch)?;
+    let mut buf: &[u8] = scratch;
     let mut epc = [0u8; 12];
     buf.copy_to_slice(&mut epc);
     Ok(Some(TagReport {
@@ -403,6 +414,22 @@ mod tests {
             read_trace(&mut data),
             Err(TraceError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn read_binary_record_into_reuses_scratch() {
+        let reports = sample_reports();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, TraceFormat::Binary, &reports).unwrap();
+        let mut reader = &buf[4..]; // skip magic
+        let mut scratch = Vec::new();
+        let mut decoded = Vec::new();
+        while let Some(r) = read_binary_record_into(&mut reader, &mut scratch).unwrap() {
+            decoded.push(r);
+            assert_eq!(scratch.len(), BINARY_RECORD_LEN);
+        }
+        assert_eq!(decoded, reports);
+        assert!(scratch.capacity() >= BINARY_RECORD_LEN);
     }
 
     #[test]

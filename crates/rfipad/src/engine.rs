@@ -34,7 +34,7 @@
 use crate::error::RfipadError;
 use crate::pipeline::{OnlinePipeline, PipelineEvent};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use rfid_gen2::report::TagReport;
+use rfid_gen2::report::{ReportBatch, TagReport};
 use rfid_gen2::source::ReportSource;
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +42,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Batch size [`Engine::ingest`] uses when draining a source: large
+/// enough to amortize the per-item queue and telemetry costs, small
+/// enough that a batch stays cache-resident and recognition latency stays
+/// sub-batch.
+pub const DEFAULT_INGEST_BATCH: usize = 64;
 
 /// What [`SessionHandle::feed`] does when a session's bounded queue is
 /// full — the engine's explicit backpressure policy.
@@ -66,7 +72,9 @@ pub struct EngineConfig {
     /// Worker threads draining session queues. `0` means one per available
     /// core.
     pub workers: usize,
-    /// Per-session queue capacity, reports.
+    /// Per-session queue capacity, in queued *items*: one
+    /// [`SessionHandle::feed`] report or one [`SessionHandle::feed_batch`]
+    /// batch each occupy a single slot.
     pub queue_capacity: usize,
     /// What a full queue does to the feeder.
     pub backpressure: Backpressure,
@@ -235,6 +243,29 @@ struct SessionState {
     pipeline: OnlinePipeline,
     events: Vec<PipelineEvent>,
     latency: LatencyRecorder,
+    /// Event scratch reused across drains, so the worker hands events to
+    /// the pipeline's `push_into`/`push_batch` without allocating per item.
+    scratch: Vec<PipelineEvent>,
+}
+
+/// One slot in a session's queue: a single fed report, or a whole batch.
+/// Queue capacity and depth count items, so batching widens the queue's
+/// effective report capacity by the batch size — that is the amortization:
+/// one channel round-trip, one lock acquisition, and one latency record
+/// cover the whole batch.
+enum QueueItem {
+    One(TagReport),
+    Batch(ReportBatch),
+}
+
+impl QueueItem {
+    /// Reports carried by the item (for drop accounting).
+    fn reports(&self) -> usize {
+        match self {
+            QueueItem::One(_) => 1,
+            QueueItem::Batch(b) => b.len(),
+        }
+    }
 }
 
 /// One open session. Shared between its handle, the engine's session map,
@@ -247,8 +278,8 @@ struct SessionInner {
     /// The session's letter gap, copied out so eviction never needs the
     /// state lock.
     letter_gap_s: f64,
-    queue_tx: Sender<TagReport>,
-    queue_rx: Receiver<TagReport>,
+    queue_tx: Sender<QueueItem>,
+    queue_rx: Receiver<QueueItem>,
     /// Wakeup token: set by whoever enqueues the session into its worker's
     /// mailbox, cleared by the worker when it believes the queue is empty.
     /// The set-check-reset dance guarantees the session is in at most one
@@ -308,18 +339,27 @@ fn schedule(shared: &Shared, sess: &Arc<SessionInner>) -> Result<(), RfipadError
 /// pipeline if a close or eviction asked for it.
 fn drain_session(shared: &Shared, sess: &SessionInner) {
     let em = crate::telemetry::engine_metrics();
-    while let Ok(report) = sess.queue_rx.try_recv() {
+    while let Ok(item) = sess.queue_rx.try_recv() {
         let t0 = Instant::now();
         let mut state = sess.state.lock().expect("session state poisoned");
-        let events = state.pipeline.push(report);
+        let SessionState {
+            pipeline, scratch, ..
+        } = &mut *state;
+        match item {
+            QueueItem::One(report) => pipeline.push_into(report, scratch),
+            QueueItem::Batch(batch) => pipeline.push_batch(batch.iter(), scratch),
+        }
         let elapsed = t0.elapsed();
         state.latency.record(elapsed);
         em.push_latency.record_duration(elapsed);
-        let n = events.len() as u64;
+        let n = state.scratch.len() as u64;
         sess.counters.events_out.fetch_add(n, Ordering::Relaxed);
         shared.totals.events_out.fetch_add(n, Ordering::Relaxed);
         em.events_out.add(n);
-        state.events.extend(events);
+        let SessionState {
+            events, scratch, ..
+        } = &mut *state;
+        events.append(scratch);
     }
     if sess.finishing.load(Ordering::SeqCst)
         && sess.queue_rx.is_empty()
@@ -489,6 +529,7 @@ impl Engine {
                 pipeline,
                 events: Vec::new(),
                 latency: LatencyRecorder::new(),
+                scratch: Vec::new(),
             }),
             done: Condvar::new(),
         });
@@ -510,8 +551,11 @@ impl Engine {
         })
     }
 
-    /// Convenience: open a session, drain a [`ReportSource`] through it,
-    /// and close. Returns every event the stream produced.
+    /// Convenience: open a session, drain a [`ReportSource`] through it
+    /// in batches of [`DEFAULT_INGEST_BATCH`], and close. Returns every
+    /// event the stream produced. Batching is invisible to the result:
+    /// under the lossless default backpressure the events are identical to
+    /// feeding one report at a time.
     ///
     /// # Errors
     ///
@@ -525,7 +569,7 @@ impl Engine {
         source: &mut dyn ReportSource,
     ) -> Result<Vec<PipelineEvent>, RfipadError> {
         let session = self.open_session(id, pipeline)?;
-        let fed = session.feed_source(source);
+        let fed = session.feed_source_batched(source, DEFAULT_INGEST_BATCH);
         let events = session.close()?;
         fed?;
         Ok(events)
@@ -882,6 +926,28 @@ impl SessionHandle {
     /// [`RfipadError::SessionClosed`] once the session was closed or
     /// evicted; [`RfipadError::EngineDown`] after engine shutdown.
     pub fn feed(&self, report: TagReport) -> Result<(), RfipadError> {
+        self.feed_item(QueueItem::One(report)).map(|_| ())
+    }
+
+    /// Feeds a whole batch as one queue item: one channel round-trip, one
+    /// worker wakeup, and one latency record for the entire batch. Under
+    /// [`Backpressure::Block`] the session's recognitions are bit-identical
+    /// to feeding the same reports one at a time. Returns how many reports
+    /// the batch carried; an empty batch is a no-op (but still fails on a
+    /// closed session or a downed engine).
+    ///
+    /// Under [`Backpressure::DropOldest`] a full queue evicts whole queued
+    /// *items*, so one eviction may drop an entire earlier batch — every
+    /// dropped report is counted in [`SessionStats::reports_dropped`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionHandle::feed`].
+    pub fn feed_batch(&self, batch: ReportBatch) -> Result<usize, RfipadError> {
+        self.feed_item(QueueItem::Batch(batch))
+    }
+
+    fn feed_item(&self, item: QueueItem) -> Result<usize, RfipadError> {
         let sess = &self.inner;
         let em = crate::telemetry::engine_metrics();
         if self.shared.down.load(Ordering::SeqCst) {
@@ -890,30 +956,35 @@ impl SessionHandle {
         if sess.closed.load(Ordering::SeqCst) {
             return Err(RfipadError::SessionClosed(sess.id.clone()));
         }
+        let n = item.reports();
+        if n == 0 {
+            return Ok(0);
+        }
         match self.shared.config.backpressure {
             Backpressure::Block => {
-                if sess.queue_tx.send(report).is_err() {
+                if sess.queue_tx.send(item).is_err() {
                     return Err(RfipadError::EngineDown);
                 }
             }
             Backpressure::DropOldest => {
-                let mut report = report;
+                let mut item = item;
                 loop {
-                    match sess.queue_tx.try_send(report) {
+                    match sess.queue_tx.try_send(item) {
                         Ok(()) => break,
-                        Err(TrySendError::Full(r)) => {
-                            report = r;
-                            // Evict the oldest queued report (the worker
-                            // may beat us to it, which is just as good).
-                            if sess.queue_rx.try_recv().is_ok() {
+                        Err(TrySendError::Full(i)) => {
+                            item = i;
+                            // Evict the oldest queued item (the worker may
+                            // beat us to it, which is just as good).
+                            if let Ok(evicted) = sess.queue_rx.try_recv() {
+                                let dropped = evicted.reports() as u64;
                                 sess.counters
                                     .reports_dropped
-                                    .fetch_add(1, Ordering::Relaxed);
+                                    .fetch_add(dropped, Ordering::Relaxed);
                                 self.shared
                                     .totals
                                     .reports_dropped
-                                    .fetch_add(1, Ordering::Relaxed);
-                                em.reports_dropped.inc();
+                                    .fetch_add(dropped, Ordering::Relaxed);
+                                em.reports_dropped.add(dropped);
                             }
                         }
                         Err(TrySendError::Disconnected(_)) => {
@@ -923,17 +994,19 @@ impl SessionHandle {
                 }
             }
         }
-        sess.counters.reports_in.fetch_add(1, Ordering::Relaxed);
+        sess.counters
+            .reports_in
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.shared
             .totals
             .reports_in
-            .fetch_add(1, Ordering::Relaxed);
-        em.reports_in.inc();
+            .fetch_add(n as u64, Ordering::Relaxed);
+        em.reports_in.add(n as u64);
         sess.last_fed_us.store(
             self.shared.epoch.elapsed().as_micros() as u64,
             Ordering::Relaxed,
         );
-        schedule(&self.shared, sess)
+        schedule(&self.shared, sess).map(|_| n)
     }
 
     /// Drains a [`ReportSource`] into the session, one
@@ -950,6 +1023,41 @@ impl SessionHandle {
         while let Some(report) = source.next_report() {
             self.feed(report)?;
             fed += 1;
+        }
+        match source.take_error() {
+            Some(e) => Err(e.into()),
+            None => Ok(fed),
+        }
+    }
+
+    /// Drains a [`ReportSource`] into the session in batches of up to
+    /// `batch_size` reports, one [`SessionHandle::feed_batch`] per refill.
+    /// Returns how many reports were fed. Under [`Backpressure::Block`]
+    /// this is event-identical to [`feed_source`](Self::feed_source) —
+    /// just with the per-report queue and telemetry costs amortized over
+    /// each batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionHandle::feed_source`]; `batch_size == 0` is
+    /// rejected as [`RfipadError::InvalidConfig`].
+    pub fn feed_source_batched(
+        &self,
+        source: &mut dyn ReportSource,
+        batch_size: usize,
+    ) -> Result<usize, RfipadError> {
+        if batch_size == 0 {
+            return Err(RfipadError::InvalidConfig(
+                "feed_source_batched batch_size must be at least 1".into(),
+            ));
+        }
+        let mut fed = 0usize;
+        loop {
+            let mut batch = ReportBatch::with_capacity(batch_size);
+            if source.next_batch(batch_size, &mut batch) == 0 {
+                break;
+            }
+            fed += self.feed_batch(batch)?;
         }
         match source.take_error() {
             Some(e) => Err(e.into()),
@@ -1233,6 +1341,114 @@ mod tests {
             .expect("ingest");
         normalize_events(&mut events);
         assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn feed_batch_matches_serial_replay() {
+        let expected = serial_events();
+        let engine = Engine::builder().workers(2).build().expect("engine");
+        let session = engine.open_session("batched", pipeline()).expect("open");
+        let reports = recording();
+        for chunk in reports.chunks(64) {
+            let fed = session
+                .feed_batch(chunk.iter().copied().collect())
+                .expect("feed_batch");
+            assert_eq!(fed, chunk.len());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.reports_in, reports.len() as u64);
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn feed_batch_and_feed_interleave_in_order() {
+        let expected = serial_events();
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("mixed", pipeline()).expect("open");
+        for (i, chunk) in recording().chunks(17).enumerate() {
+            if i % 2 == 0 {
+                session
+                    .feed_batch(chunk.iter().copied().collect())
+                    .expect("feed_batch");
+            } else {
+                for &o in chunk {
+                    session.feed(o).expect("feed");
+                }
+            }
+        }
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn feed_batch_empty_is_noop() {
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine
+            .open_session("empty", quiet_pipeline())
+            .expect("open");
+        assert_eq!(session.feed_batch(ReportBatch::new()).expect("feed"), 0);
+        assert_eq!(session.stats().reports_in, 0);
+        session.close().expect("close");
+    }
+
+    #[test]
+    fn feed_source_batched_matches_serial() {
+        let expected = serial_events();
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("src", pipeline()).expect("open");
+        assert!(matches!(
+            session.feed_source_batched(&mut LiveSource::new(Vec::new()), 0),
+            Err(RfipadError::InvalidConfig(_))
+        ));
+        let mut source = LiveSource::new(recording());
+        let fed = session
+            .feed_source_batched(&mut source, 48)
+            .expect("feed_source_batched");
+        assert_eq!(fed, recording().len());
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn drop_oldest_counts_every_report_in_an_evicted_batch() {
+        let engine = Engine::builder()
+            .workers(1)
+            .queue_capacity(2)
+            .backpressure(Backpressure::DropOldest)
+            .build()
+            .expect("engine");
+        let session = engine
+            .open_session("lossy-batch", quiet_pipeline())
+            .expect("open");
+        let dropped = {
+            // Stall the worker so the 2-item queue genuinely fills. The
+            // worker may pull one batch off the queue before stalling, so
+            // either one or two of the four 3-report batches get evicted —
+            // always whole batches, so the drop count is a multiple of 3.
+            let _stall = session.inner.state.lock().expect("state");
+            for chunk in quiet_reports(12).chunks(3) {
+                session
+                    .feed_batch(chunk.iter().copied().collect())
+                    .expect("feed_batch");
+            }
+            session
+                .inner
+                .counters
+                .reports_dropped
+                .load(Ordering::Relaxed)
+        };
+        assert!(
+            dropped == 3 || dropped == 6,
+            "dropped {dropped} of 12, expected one or two whole batches"
+        );
+        session.close().expect("close");
+        let stats = engine.stats();
+        assert_eq!(stats.reports_in, 12);
+        assert_eq!(stats.reports_dropped, dropped);
     }
 
     #[test]

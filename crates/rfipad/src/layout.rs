@@ -91,6 +91,13 @@ impl ArrayLayout {
     pub fn contains(&self, id: TagId) -> bool {
         self.index.contains_key(&id)
     }
+
+    /// Row-major index of a tag — its position in [`tags`](Self::tags) and
+    /// thus its stream index in `TagStreams::phase_series` order. `None`
+    /// for ids outside the layout.
+    pub fn stream_index(&self, id: TagId) -> Option<usize> {
+        self.index.get(&id).map(|&(r, c)| r * self.cols + c)
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +114,15 @@ mod tests {
         assert_eq!(l.position(TagId(0)).unwrap(), (0, 0));
         assert_eq!(l.position(TagId(4)).unwrap(), (1, 1));
         assert_eq!(l.at(1, 2), TagId(5));
+    }
+
+    #[test]
+    fn stream_index_matches_tags_order() {
+        let l = layout();
+        for (i, &id) in l.tags().iter().enumerate() {
+            assert_eq!(l.stream_index(id), Some(i));
+        }
+        assert_eq!(l.stream_index(TagId(99)), None);
     }
 
     #[test]

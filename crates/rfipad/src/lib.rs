@@ -86,7 +86,7 @@ pub use multipad::{PadDispatcher, PadEvent, PadHandle};
 pub use pipeline::{OnlinePipeline, PipelineEvent};
 pub use recognizer::{RecognizedStroke, Recognizer, SessionResult};
 pub use segmentation::{Segmentation, StrokeSpan};
-pub use streams::TagStreams;
+pub use streams::{TagStreams, TagStreamsBuilder};
 pub use words::{DecodedWord, WordDecoder};
 
 /// Convenient glob import for applications.

@@ -12,8 +12,10 @@
 
 use crate::error::RfipadError;
 use crate::recognizer::{RecognizedStroke, Recognizer};
+use crate::streams::TagStreamsBuilder;
 use rfid_gen2::report::TagReport;
 use serde::{Deserialize, Serialize};
+use sigproc::frames::{FrameBuilder, FrameSeq};
 use std::time::Instant;
 
 /// An event emitted by the online pipeline.
@@ -123,9 +125,12 @@ impl OnlinePipelineBuilder {
         }
         let end_guard_s =
             recognizer.config().frame_len_s * recognizer.config().window_frames as f64;
+        let noise_floors = recognizer.noise_floors();
         Ok(OnlinePipeline {
             recognizer,
             buffer: Vec::new(),
+            cache: None,
+            noise_floors,
             reported_spans: Vec::new(),
             pending_strokes: Vec::new(),
             last_processed: f64::NEG_INFINITY,
@@ -139,12 +144,58 @@ impl OnlinePipelineBuilder {
     }
 }
 
+/// Incrementally maintained view of the buffered reports: calibrated
+/// per-tag streams plus the per-frame RMS accumulators over them. Kept in
+/// step with `OnlinePipeline::buffer` on every push and *dropped* whenever
+/// the buffer is trimmed — a rebuild from a shorter history legitimately
+/// re-picks unwrap state and the Eq. 8 re-centring offsets at the new first
+/// sample, so patching the cache in place would diverge from a
+/// from-scratch build.
+#[derive(Debug, Default)]
+struct StreamCache {
+    streams: TagStreamsBuilder,
+    /// Created at the first in-layout report; that report's time anchors
+    /// frame 0, matching the batch build's `streams.start()`.
+    frames: Option<FrameBuilder>,
+}
+
+/// Appends one (already clamped) report to the cache, mirroring what a
+/// batch rebuild over the buffer would accumulate for it.
+fn cache_append(
+    cache: &mut StreamCache,
+    recognizer: &Recognizer,
+    noise_floors: &[f64],
+    obs: &TagReport,
+) {
+    let layout = recognizer.layout();
+    if let Some((tag, t, v)) = cache
+        .streams
+        .push(layout, Some(recognizer.calibration()), obs)
+    {
+        let frames = cache.frames.get_or_insert_with(|| {
+            FrameBuilder::new(
+                layout.len(),
+                Some(noise_floors.to_vec()),
+                t,
+                recognizer.config().frame_len_s,
+            )
+        });
+        let idx = layout.stream_index(tag).expect("accepted tag in layout");
+        frames.push(idx, t, v);
+    }
+}
+
 /// Streaming recognition engine.
 #[derive(Debug)]
 pub struct OnlinePipeline {
     recognizer: Recognizer,
     buffer: Vec<TagReport>,
-    /// Spans already reported (by their start time).
+    /// Incremental streams + frames over `buffer`; `None` after a trim
+    /// until the next [`process_into`](Self::process_into) rebuilds it.
+    cache: Option<StreamCache>,
+    /// Per-stream noise floors in layout order (static per calibration).
+    noise_floors: Vec<f64>,
+    /// Spans already reported (by their start time), kept sorted.
     reported_spans: Vec<f64>,
     pending_strokes: Vec<RecognizedStroke>,
     last_processed: f64,
@@ -207,7 +258,16 @@ impl OnlinePipeline {
     /// clamped or dropped per the configured [`OutOfOrderPolicy`] and
     /// counted in [`OnlinePipeline::out_of_order_count`]. Feeding after
     /// [`OnlinePipeline::finish`] resumes the stream.
-    pub fn push(&mut self, mut obs: TagReport) -> Vec<PipelineEvent> {
+    pub fn push(&mut self, obs: TagReport) -> Vec<PipelineEvent> {
+        let mut events = Vec::new();
+        self.push_into(obs, &mut events);
+        events
+    }
+
+    /// Like [`push`](Self::push), but appends any triggered events to
+    /// `events` instead of allocating a fresh vector — the hot-path entry
+    /// point for callers that reuse one event buffer across reports.
+    pub fn push_into(&mut self, mut obs: TagReport, events: &mut Vec<PipelineEvent>) {
         self.finished = false;
         let metrics = crate::telemetry::stage_metrics();
         metrics.reports.inc();
@@ -222,13 +282,20 @@ impl OnlinePipeline {
                 }
                 OutOfOrderPolicy::Drop => {
                     metrics.out_of_order_dropped.inc();
-                    return Vec::new();
+                    return;
                 }
             }
         }
         self.last_time = obs.time;
         let now = obs.time;
         self.buffer.push(obs);
+        // Keep the incremental cache in step with the buffer. The clamped
+        // timestamp was fixed above, so the cache sees exactly what a
+        // rebuild over the buffer would see. A cache dropped by a trim is
+        // rebuilt lazily at the next process tick.
+        if let Some(cache) = self.cache.as_mut() {
+            cache_append(cache, &self.recognizer, &self.noise_floors, &obs);
+        }
         // Bound the history: drop everything older than the retention
         // window, but never cut into a pending (unclosed) letter.
         let keep_from = self
@@ -247,13 +314,29 @@ impl OnlinePipeline {
             // Spans older than the retained history can never re-segment,
             // so their dedup entries are dead weight — drop them too.
             self.reported_spans.retain(|&s| s >= keep_from);
+            // The shortened history re-anchors unwrapping and Eq. 8
+            // offsets; the incremental cache must be rebuilt from it.
+            self.cache = None;
         }
         // Re-evaluate once per frame, not per read.
         if now - self.last_processed < self.recognizer.config().frame_len_s {
-            return Vec::new();
+            return;
         }
         self.last_processed = now;
-        self.process(now)
+        self.process_into(now, events);
+    }
+
+    /// Feeds a batch of reports in order, appending any triggered events to
+    /// `events`. Equivalent to pushing each report individually; one event
+    /// buffer serves the whole batch.
+    pub fn push_batch(
+        &mut self,
+        reports: impl IntoIterator<Item = TagReport>,
+        events: &mut Vec<PipelineEvent>,
+    ) {
+        for obs in reports {
+            self.push_into(obs, events);
+        }
     }
 
     /// Flushes the engine at end of input (closes any pending stroke or
@@ -264,8 +347,15 @@ impl OnlinePipeline {
     /// sequences (and engine eviction racing an explicit close) cannot
     /// duplicate reports.
     pub fn finish(&mut self) -> Vec<PipelineEvent> {
+        let mut events = Vec::new();
+        self.finish_into(&mut events);
+        events
+    }
+
+    /// Like [`finish`](Self::finish), but appends any events to `events`.
+    pub fn finish_into(&mut self, events: &mut Vec<PipelineEvent>) {
         if self.finished {
-            return Vec::new();
+            return;
         }
         self.finished = true;
         let now = self
@@ -273,37 +363,72 @@ impl OnlinePipeline {
             .last()
             .map(|o| o.time + self.letter_gap_s + self.end_guard_s)
             .unwrap_or(0.0);
-        self.process(now)
+        self.process_into(now, events);
     }
 
-    fn process(&mut self, now: f64) -> Vec<PipelineEvent> {
-        let mut events = Vec::new();
+    /// Rebuilds the incremental cache from the buffer if a trim dropped it.
+    fn ensure_cache(&mut self) {
+        if self.cache.is_some() {
+            return;
+        }
+        let mut cache = StreamCache::default();
+        for obs in &self.buffer {
+            cache_append(&mut cache, &self.recognizer, &self.noise_floors, obs);
+        }
+        self.cache = Some(cache);
+    }
+
+    /// Whether a span starting at `start` was already reported, within the
+    /// ±0.25 s dedup tolerance. `reported_spans` is sorted, so this is a
+    /// binary search plus a scan bounded by the tolerance window.
+    fn span_already_reported(&self, start: f64) -> bool {
+        let lo = self.reported_spans.partition_point(|&s| s < start - 0.25);
+        self.reported_spans[lo..]
+            .iter()
+            .take_while(|&&s| s < start + 0.25)
+            .any(|&s| (s - start).abs() < 0.25)
+    }
+
+    /// Records a reported span start, keeping `reported_spans` sorted.
+    fn mark_reported(&mut self, start: f64) {
+        let at = self.reported_spans.partition_point(|&s| s < start);
+        self.reported_spans.insert(at, start);
+    }
+
+    fn process_into(&mut self, now: f64, events: &mut Vec<PipelineEvent>) {
         let metrics = crate::telemetry::stage_metrics();
         let compute_start = Instant::now();
-        let streams = {
+        // The cache already tracks every buffered report (rebuilt here only
+        // after a trim), so the steady-state tick is O(new samples) — cut
+        // the frame sequence from the running accumulators instead of
+        // rebuilding streams and re-slicing the whole window.
+        {
             let _span = obs::span!(metrics.framing);
-            self.recognizer.streams(&self.buffer)
-        };
+            self.ensure_cache();
+        }
+        let mut cache = self.cache.take().expect("ensured above");
         let segmentation = {
             let _span = obs::span!(metrics.segmentation);
-            self.recognizer.segment(&streams)
+            let frame_seq = match (&mut cache.frames, cache.streams.streams().end()) {
+                (Some(frames), Some(end)) => frames.build(end),
+                _ => FrameSeq::default(),
+            };
+            self.recognizer.segment_frames(&frame_seq)
         };
+        let streams = cache.streams.streams();
+        let mut cache_invalidated = false;
 
         // Report every span that ended long enough ago and is new.
         for &span in &segmentation.spans {
             let confirmed = now - span.end >= self.end_guard_s;
-            let already = self
-                .reported_spans
-                .iter()
-                .any(|&s| (s - span.start).abs() < 0.25);
-            if confirmed && !already {
+            if confirmed && !self.span_already_reported(span.start) {
                 let stroke_t0 = Instant::now();
                 let recognized = {
                     let _span = obs::span!(metrics.motion);
-                    self.recognizer.recognize_span(&streams, span)
+                    self.recognizer.recognize_span(streams, span)
                 };
                 if let Some(stroke) = recognized {
-                    self.reported_spans.push(span.start);
+                    self.mark_reported(span.start);
                     self.pending_strokes.push(stroke.clone());
                     metrics.strokes.inc();
                     events.push(PipelineEvent::StrokeDetected {
@@ -321,7 +446,7 @@ impl OnlinePipeline {
                         start = format!("{:.2}", span.start),
                         end = format!("{:.2}", span.end)
                     );
-                    self.reported_spans.push(span.start);
+                    self.mark_reported(span.start);
                 }
             }
         }
@@ -361,9 +486,50 @@ impl OnlinePipeline {
                 // (plus a margin for the next calibration-free suppression).
                 self.buffer.retain(|o| o.time > letter_end);
                 self.reported_spans.clear();
+                // The trim re-anchors stream centring for the next letter;
+                // drop the cache so it is rebuilt from the kept reports.
+                cache_invalidated = true;
             }
         }
-        events
+        if !cache_invalidated {
+            self.cache = Some(cache);
+        }
+    }
+}
+
+#[cfg(test)]
+impl OnlinePipeline {
+    /// Test oracle: the incrementally maintained cache must equal a
+    /// from-scratch rebuild over the current buffer — streams *and* frames,
+    /// bit for bit. Rebuilds the cache first if a trim dropped it.
+    fn assert_cache_matches_rebuild(&mut self) {
+        self.ensure_cache();
+        let cache = self.cache.as_ref().expect("just ensured");
+        let fresh = self.recognizer.streams(&self.buffer);
+        assert_eq!(
+            cache.streams.streams(),
+            &fresh,
+            "cached streams diverged from a rebuild over the buffer"
+        );
+        if let Some(frames) = cache.frames.as_ref() {
+            let start = fresh.start().expect("cache has samples");
+            let end = fresh.end().expect("cache has samples");
+            assert_eq!(frames.start(), start, "frame anchor diverged");
+            let batch = FrameSeq::build_with_floors(
+                &fresh.phase_series(self.recognizer.layout()),
+                Some(&self.noise_floors),
+                start,
+                end,
+                self.recognizer.config().frame_len_s,
+            );
+            assert_eq!(
+                frames.clone().build(end),
+                batch,
+                "cached frames diverged from a batch build"
+            );
+        } else {
+            assert_eq!(fresh.start(), None, "frames missing despite samples");
+        }
     }
 }
 
@@ -379,14 +545,17 @@ pub fn spawn(
 ) {
     let (tx, rx) = crossbeam::channel::unbounded();
     let handle = std::thread::spawn(move || {
+        let mut events = Vec::new();
         for obs in input.iter() {
-            for event in pipeline.push(obs) {
+            pipeline.push_into(obs, &mut events);
+            for event in events.drain(..) {
                 if tx.send(event).is_err() {
                     return;
                 }
             }
         }
-        for event in pipeline.finish() {
+        pipeline.finish_into(&mut events);
+        for event in events.drain(..) {
             if tx.send(event).is_err() {
                 return;
             }
@@ -626,6 +795,120 @@ mod tests {
     }
 
     #[test]
+    fn push_into_batch_and_push_agree() {
+        let mut serial = pipeline();
+        let mut serial_events = Vec::new();
+        for o in recording() {
+            serial_events.extend(serial.push(o));
+        }
+        serial_events.extend(serial.finish());
+
+        let mut batched = pipeline();
+        let mut batched_events = Vec::new();
+        for chunk in recording().chunks(64) {
+            batched.push_batch(chunk.iter().copied(), &mut batched_events);
+        }
+        batched.finish_into(&mut batched_events);
+
+        assert_eq!(serial_events.len(), batched_events.len());
+        for (a, b) in serial_events.iter().zip(&batched_events) {
+            // Response times are wall-clock and differ run to run; the
+            // recognized content must be identical.
+            match (a, b) {
+                (
+                    PipelineEvent::StrokeDetected { stroke: sa, .. },
+                    PipelineEvent::StrokeDetected { stroke: sb, .. },
+                ) => assert_eq!(sa, sb),
+                (
+                    PipelineEvent::LetterRecognized {
+                        letter: la,
+                        strokes: sa,
+                        ..
+                    },
+                    PipelineEvent::LetterRecognized {
+                        letter: lb,
+                        strokes: sb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(la, lb);
+                    assert_eq!(sa, sb);
+                }
+                other => panic!("event kinds diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_by_letter_close_then_resumes() {
+        let mut p = pipeline();
+        let mut letter_seen = false;
+        for o in recording() {
+            let events = p.push(o);
+            if events
+                .iter()
+                .any(|e| matches!(e, PipelineEvent::LetterRecognized { .. }))
+            {
+                // The letter close trims the buffer and must drop the
+                // cache with it, in the same tick.
+                assert!(p.cache.is_none(), "letter-close trim left a stale cache");
+                letter_seen = true;
+            }
+        }
+        assert!(letter_seen, "recording closes a letter mid-feed");
+        // Later ticks rebuild the cache from the trimmed buffer and then
+        // maintain it incrementally; it must match a rebuild exactly.
+        assert!(p.cache.is_some(), "cache not rebuilt after the letter");
+        p.assert_cache_matches_rebuild();
+        // finish-then-resume: the flush and the resumed traffic keep the
+        // cache in step with the buffer.
+        p.finish();
+        for mut o in recording().into_iter().filter(|o| o.time < 1.0) {
+            o.time += 8.0;
+            p.push(o);
+        }
+        p.assert_cache_matches_rebuild();
+    }
+
+    #[test]
+    fn cache_consistent_under_out_of_order_clamp() {
+        let p = pipeline();
+        let mut clamping = OnlinePipeline::builder()
+            .recognizer(p.recognizer)
+            .letter_gap_s(1.5)
+            .out_of_order(OutOfOrderPolicy::Clamp)
+            .build()
+            .unwrap();
+        for (i, mut o) in recording().into_iter().enumerate() {
+            if i % 8 == 3 {
+                o.time -= 0.04;
+            }
+            clamping.push(o);
+        }
+        assert!(clamping.out_of_order_count() > 0, "stale reports seen");
+        clamping.assert_cache_matches_rebuild();
+    }
+
+    #[test]
+    fn cache_consistent_under_out_of_order_drop() {
+        let p = pipeline();
+        let mut dropping = OnlinePipeline::builder()
+            .recognizer(p.recognizer)
+            .letter_gap_s(1.5)
+            .out_of_order(OutOfOrderPolicy::Drop)
+            .build()
+            .unwrap();
+        for (i, mut o) in recording().into_iter().enumerate() {
+            if i % 10 == 7 {
+                o.time -= 0.05;
+            }
+            dropping.push(o);
+        }
+        assert!(dropping.out_of_order_count() > 0, "stale reports seen");
+        dropping.assert_cache_matches_rebuild();
+    }
+
+    #[test]
     fn out_of_order_clamped_and_counted() {
         let p = pipeline();
         let mut clamping = OnlinePipeline::builder()
@@ -816,6 +1099,43 @@ mod buffer_tests {
             "pending letter history trimmed: first {first}"
         );
         assert!(!pipeline.pending_strokes.is_empty());
+    }
+
+    #[test]
+    fn cache_consistent_across_retention_trims() {
+        let mut pipeline = quiet_pipeline(1.5);
+        let mut trims = 0usize;
+        for step in 0..3_600u64 {
+            let t = step as f64 / 60.0;
+            let before = pipeline.buffer.len();
+            pipeline.push(quiet_obs(step % 3, t));
+            if pipeline.buffer.len() <= before {
+                trims += 1;
+            }
+            // Spot-check: the incrementally maintained cache never drifts
+            // from a rebuild over the (possibly trimmed) buffer.
+            if step % 600 == 599 {
+                pipeline.assert_cache_matches_rebuild();
+            }
+        }
+        assert!(trims > 0, "run long enough to trim history");
+        pipeline.assert_cache_matches_rebuild();
+    }
+
+    #[test]
+    fn reported_spans_stay_sorted() {
+        let mut pipeline = quiet_pipeline(1.5);
+        // Out-of-sorted-order marks must land sorted (the dedup relies on
+        // partition_point).
+        pipeline.mark_reported(2.5);
+        pipeline.mark_reported(1.0);
+        pipeline.mark_reported(4.0);
+        pipeline.mark_reported(1.7);
+        assert_eq!(pipeline.reported_spans, vec![1.0, 1.7, 2.5, 4.0]);
+        assert!(pipeline.span_already_reported(1.2));
+        assert!(pipeline.span_already_reported(2.6));
+        assert!(!pipeline.span_already_reported(3.2));
+        assert!(!pipeline.span_already_reported(0.5));
     }
 
     #[test]

@@ -343,6 +343,24 @@ impl Recognizer {
             .segment(&self.layout, streams, &self.calibration)
     }
 
+    /// Segments an already-built frame sequence with the calibrated
+    /// thresholds. Given the frames [`segment`](Self::segment) would build
+    /// internally, the result is identical; the online pipeline uses this
+    /// with incrementally maintained frames.
+    pub fn segment_frames(&self, frames: &sigproc::frames::FrameSeq) -> Segmentation {
+        self.segmenter.segment_frames(
+            frames,
+            self.calibration.activity_threshold(&self.config),
+            self.calibration.rms_level_threshold(&self.config),
+        )
+    }
+
+    /// Per-stream noise floors in layout order — the `floors` argument the
+    /// calibrated segmentation applies during framing.
+    pub fn noise_floors(&self) -> Vec<f64> {
+        self.calibration.noise_floors(&self.layout, &self.config)
+    }
+
     /// Runs the full pipeline on a recording: segmentation, per-span motion
     /// and direction recognition, then grammar-based letter deduction.
     pub fn recognize_session(&self, observations: &[TagReport]) -> SessionResult {

@@ -135,6 +135,20 @@ impl Segmenter {
             end,
             self.config.frame_len_s,
         );
+        self.segment_frames(&frame_seq, threshold, rms_threshold)
+    }
+
+    /// Scores an already-built frame sequence into stroke spans — the
+    /// Eq. 12 window test, erosion, bridging, and minimum-length filter.
+    /// Identical to [`segment`](Self::segment) given the frames it would
+    /// build internally; the online pipeline uses this with frames cut
+    /// incrementally by `sigproc::frames::FrameBuilder`.
+    pub fn segment_frames(
+        &self,
+        frame_seq: &FrameSeq,
+        threshold: f64,
+        rms_threshold: f64,
+    ) -> Segmentation {
         let frames = frame_seq.frames();
         let n = frames.len();
         let w = self.config.window_frames;
@@ -350,6 +364,21 @@ mod tests {
         assert!((a.overlap(&b) - 0.5).abs() < 1e-12);
         assert_eq!(a.overlap(&c), 0.0);
         assert!((a.duration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_frames_matches_segment_over_prebuilt_frames() {
+        let streams = two_stroke_streams();
+        let layout = layout();
+        let seg = segmenter().segment_with_threshold(&layout, &streams, 0.1);
+        let frame_seq = FrameSeq::build(
+            &streams.phase_series(&layout),
+            streams.start().expect("nonempty"),
+            streams.end().expect("nonempty"),
+            RfipadConfig::default().frame_len_s,
+        );
+        let pre = segmenter().segment_frames(&frame_seq, 0.1, f64::INFINITY);
+        assert_eq!(pre, seg);
     }
 
     #[test]

@@ -39,38 +39,11 @@ impl TagStreams {
         calibration: Option<&Calibration>,
         observations: impl IntoIterator<Item = &'a TagReport>,
     ) -> Self {
-        let mut unwrappers: HashMap<TagId, StreamingUnwrapper> = HashMap::new();
-        let mut offsets: HashMap<TagId, f64> = HashMap::new();
-        let mut out = TagStreams::default();
+        let mut builder = TagStreamsBuilder::new();
         for obs in observations {
-            if !layout.contains(obs.tag) {
-                continue;
-            }
-            let unwrapper = unwrappers.entry(obs.tag).or_default();
-            let unwrapped = unwrapper.push(obs.phase);
-            let value = match calibration {
-                Some(cal) => {
-                    let mean = cal.mean_phase(obs.tag).expect("layout tag calibrated");
-                    // Re-centre: choose the 2π offset once (at the first
-                    // sample) so the suppressed stream starts in (−π, π]
-                    // and stays continuous afterwards.
-                    let offset = *offsets.entry(obs.tag).or_insert_with(|| {
-                        let first = unwrapped - mean;
-                        first - wrap_to_pi(first)
-                    });
-                    unwrapped - mean - offset
-                }
-                None => unwrapped,
-            };
-            out.phase.entry(obs.tag).or_default().push(obs.time, value);
-            out.rss
-                .entry(obs.tag)
-                .or_default()
-                .push(obs.time, obs.rss_dbm);
-            out.start = Some(out.start.map_or(obs.time, |s: f64| s.min(obs.time)));
-            out.end = Some(out.end.map_or(obs.time, |e: f64| e.max(obs.time)));
+            builder.push(layout, calibration, obs);
         }
-        out
+        builder.into_streams()
     }
 
     /// The suppressed (or raw) phase series of a tag, empty if never read.
@@ -110,6 +83,83 @@ impl TagStreams {
     /// Total reads across all tags.
     pub fn total_reads(&self) -> usize {
         self.phase.values().map(TimeSeries::len).sum()
+    }
+}
+
+/// Incremental counterpart of [`TagStreams::build`]: appends one report at
+/// a time while carrying the per-tag unwrap state and Eq. 8 re-centring
+/// offsets across pushes, so the accumulated [`TagStreams`] is identical to
+/// a one-shot batch build over the same reports in the same order.
+///
+/// This is what lets `OnlinePipeline` keep its streams cached between frame
+/// ticks instead of rebuilding them from the whole retained buffer. Note
+/// the offsets are chosen at each tag's *first* sample — rebuilding from a
+/// trimmed buffer may legitimately pick different offsets, which is why the
+/// pipeline invalidates (rather than patches) its cache on trims.
+#[derive(Debug, Clone, Default)]
+pub struct TagStreamsBuilder {
+    unwrappers: HashMap<TagId, StreamingUnwrapper>,
+    offsets: HashMap<TagId, f64>,
+    streams: TagStreams,
+}
+
+impl TagStreamsBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one report. Returns the `(tag, time, calibrated phase)`
+    /// sample that was appended, or `None` if the report's tag is outside
+    /// `layout` and was ignored.
+    ///
+    /// `layout` and `calibration` must be the same on every push; they are
+    /// passed per call (rather than stored) so the builder can live beside
+    /// the recognizer that owns them.
+    pub fn push(
+        &mut self,
+        layout: &ArrayLayout,
+        calibration: Option<&Calibration>,
+        obs: &TagReport,
+    ) -> Option<(TagId, f64, f64)> {
+        if !layout.contains(obs.tag) {
+            return None;
+        }
+        let unwrapper = self.unwrappers.entry(obs.tag).or_default();
+        let unwrapped = unwrapper.push(obs.phase);
+        let value = match calibration {
+            Some(cal) => {
+                let mean = cal.mean_phase(obs.tag).expect("layout tag calibrated");
+                // Re-centre: choose the 2π offset once (at the first
+                // sample) so the suppressed stream starts in (−π, π]
+                // and stays continuous afterwards.
+                let offset = *self.offsets.entry(obs.tag).or_insert_with(|| {
+                    let first = unwrapped - mean;
+                    first - wrap_to_pi(first)
+                });
+                unwrapped - mean - offset
+            }
+            None => unwrapped,
+        };
+        let out = &mut self.streams;
+        out.phase.entry(obs.tag).or_default().push(obs.time, value);
+        out.rss
+            .entry(obs.tag)
+            .or_default()
+            .push(obs.time, obs.rss_dbm);
+        out.start = Some(out.start.map_or(obs.time, |s: f64| s.min(obs.time)));
+        out.end = Some(out.end.map_or(obs.time, |e: f64| e.max(obs.time)));
+        Some((obs.tag, obs.time, value))
+    }
+
+    /// The streams accumulated so far.
+    pub fn streams(&self) -> &TagStreams {
+        &self.streams
+    }
+
+    /// Consumes the builder, returning the accumulated streams.
+    pub fn into_streams(self) -> TagStreams {
+        self.streams
     }
 }
 
@@ -238,6 +288,34 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!(series[0].is_empty());
         assert_eq!(series[1].len(), 1);
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_build() {
+        let cal = calibration_with_means(1.0, 5.0);
+        let observations: Vec<TagReport> = (0..40)
+            .flat_map(|j| {
+                vec![
+                    obs(TagId(0), j as f64 * 0.1, 1.0 + j as f64 * 0.2),
+                    obs(TagId(1), j as f64 * 0.1 + 0.05, 5.0 - j as f64 * 0.15),
+                    obs(TagId(99), j as f64 * 0.1 + 0.07, 0.0), // foreign
+                ]
+            })
+            .collect();
+        let batch = TagStreams::build(&layout(), Some(&cal), &observations);
+        let mut builder = TagStreamsBuilder::new();
+        for o in &observations {
+            let accepted = builder.push(&layout(), Some(&cal), o);
+            assert_eq!(accepted.is_some(), o.tag != TagId(99));
+            if let Some((tag, t, v)) = accepted {
+                assert_eq!(tag, o.tag);
+                assert_eq!(t, o.time);
+                let series = builder.streams().phase(tag).expect("just pushed");
+                assert_eq!(*series.values().last().expect("nonempty"), v);
+            }
+        }
+        assert_eq!(builder.streams(), &batch);
+        assert_eq!(builder.into_streams(), batch);
     }
 
     #[test]

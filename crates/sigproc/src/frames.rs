@@ -17,9 +17,10 @@ use crate::stats;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 
-/// Workspace-wide count of frames cut by [`FrameSeq::build`], registered in
-/// the process-global metric registry. The `Arc` is cached so steady-state
-/// framing costs one relaxed atomic add.
+/// Workspace-wide count of frames cut by [`FrameSeq::build`] and
+/// [`FrameBuilder::build`], registered in the process-global metric
+/// registry. The `Arc` is cached so steady-state framing costs one relaxed
+/// atomic add.
 fn frames_built_counter() -> &'static Arc<obs::Counter> {
     static COUNTER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
     COUNTER.get_or_init(|| {
@@ -168,6 +169,211 @@ impl FrameSeq {
             return vec![Window::from_frames(&self.frames)];
         }
         self.frames.windows(size).map(Window::from_frames).collect()
+    }
+}
+
+/// Per-frame, per-stream running accumulators: everything needed to emit a
+/// frame's multi-stream RMS without revisiting samples.
+#[derive(Debug, Clone)]
+struct FrameAcc {
+    /// Per-stream running sum of squared sample values.
+    sum_sq: Vec<f64>,
+    /// Per-stream sample count.
+    count: Vec<usize>,
+}
+
+impl FrameAcc {
+    fn new(n_streams: usize) -> Self {
+        Self {
+            sum_sq: vec![0.0; n_streams],
+            count: vec![0; n_streams],
+        }
+    }
+}
+
+/// Streaming counterpart of [`FrameSeq::build_with_floors`]: appending a
+/// sample is O(1), and [`build`](Self::build) emits the frame sequence
+/// without re-slicing any stream.
+///
+/// The output is **bit-identical** to a batch
+/// [`FrameSeq::build_with_floors`] over the same samples because the
+/// per-frame, per-stream sum of squares is accumulated in the same time
+/// order that [`crate::stats::rms`] would visit a
+/// [`slice_time`](TimeSeries::slice_time) slice, and frame emission walks
+/// streams in the same index order.
+///
+/// Frames whose end lies at or before the newest sample time can no longer
+/// receive samples (assuming non-decreasing push times); their `Frame` is
+/// computed once and cached, so a steady-state `push*`/`build` cycle costs
+/// O(new samples + live tail frames), not O(total frames). A push that does
+/// land in an already-finalized frame (out-of-order feed) simply drops the
+/// affected cache suffix and stays correct.
+///
+/// # Example
+///
+/// ```
+/// use sigproc::frames::{FrameBuilder, FrameSeq};
+/// use sigproc::series::TimeSeries;
+///
+/// let stream: TimeSeries = (0..30).map(|i| (i as f64 * 0.01, 1.5)).collect();
+/// let mut builder = FrameBuilder::new(1, None, 0.0, 0.1);
+/// for (t, v) in stream.iter() {
+///     builder.push(0, t, v);
+/// }
+/// let streaming = builder.build(0.29);
+/// let batch = FrameSeq::build(&[stream], 0.0, 0.29, 0.1);
+/// assert_eq!(streaming, batch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    start: f64,
+    frame_len: f64,
+    floors: Option<Vec<f64>>,
+    n_streams: usize,
+    /// Accumulators indexed by frame number.
+    acc: Vec<FrameAcc>,
+    /// Finalized prefix of frames (no future sample can land in them).
+    done: Vec<Frame>,
+    /// Newest sample time seen so far.
+    max_time: f64,
+}
+
+impl FrameBuilder {
+    /// Creates a builder for `n_streams` streams with frames of `frame_len`
+    /// seconds starting at `start`. `floors` are the per-stream noise floors
+    /// (see [`FrameSeq::build_with_floors`]); `None` means no floors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len <= 0` or `floors` is provided with a length
+    /// different from `n_streams`.
+    pub fn new(n_streams: usize, floors: Option<Vec<f64>>, start: f64, frame_len: f64) -> Self {
+        assert!(frame_len > 0.0, "frame length must be positive");
+        if let Some(f) = &floors {
+            assert_eq!(f.len(), n_streams, "one floor per stream");
+        }
+        Self {
+            start,
+            frame_len,
+            floors,
+            n_streams,
+            acc: Vec::new(),
+            done: Vec::new(),
+            max_time: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The frame range start passed to [`new`](Self::new).
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Start time of frame `k`, with the exact rounding the batch build
+    /// uses per frame.
+    fn frame_start(&self, k: usize) -> f64 {
+        self.start + k as f64 * self.frame_len
+    }
+
+    /// Appends one sample of stream `stream` at time `t`. Samples before
+    /// `start` are ignored, exactly as they would fall outside every frame
+    /// of the batch build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn push(&mut self, stream: usize, t: f64, v: f64) {
+        assert!(stream < self.n_streams, "stream index out of range");
+        if t < self.start {
+            return;
+        }
+        // The batch build tests membership per frame k as
+        // `f_start <= t < f_start + frame_len`, with `f_start = start +
+        // k * frame_len` rounded independently per frame — so consecutive
+        // frames can overlap or leave a gap of an ulp at a boundary, and a
+        // sample may fall in zero, one, or *two* frames. Replicate that
+        // exactly: from the division estimate, walk down to the first frame
+        // whose end lies after t, then accumulate into every frame whose
+        // half-open range contains t.
+        let est = ((t - self.start) / self.frame_len) as usize;
+        let mut k = est;
+        while k > 0 && self.frame_start(k - 1) + self.frame_len > t {
+            k -= 1;
+        }
+        let mut first_touched = None;
+        // In non-degenerate float ranges membership ends within a frame or
+        // two of the estimate; the bound only guards against a frame_len
+        // below the ulp of the timestamps, where frame starts stop
+        // advancing.
+        while self.frame_start(k) <= t && k <= est + 2 {
+            if t < self.frame_start(k) + self.frame_len {
+                first_touched.get_or_insert(k);
+                while self.acc.len() <= k {
+                    self.acc.push(FrameAcc::new(self.n_streams));
+                }
+                self.acc[k].sum_sq[stream] += v * v;
+                self.acc[k].count[stream] += 1;
+            }
+            k += 1;
+        }
+        if let Some(first) = first_touched {
+            if first < self.done.len() {
+                self.done.truncate(first);
+            }
+        }
+        if t > self.max_time {
+            self.max_time = t;
+        }
+    }
+
+    /// Emits frame `k` from the accumulators, mirroring the batch build's
+    /// stream-order walk (empty streams contribute nothing).
+    fn compute_frame(&self, k: usize) -> Frame {
+        let f_start = self.start + k as f64 * self.frame_len;
+        let mut rms_sum = 0.0;
+        let mut samples = 0;
+        if let Some(acc) = self.acc.get(k) {
+            for i in 0..self.n_streams {
+                let n = acc.count[i];
+                if n > 0 {
+                    let floor = self.floors.as_ref().map(|f| f[i]).unwrap_or(0.0);
+                    rms_sum += ((acc.sum_sq[i] / n as f64).sqrt() - floor).max(0.0);
+                    samples += n;
+                }
+            }
+        }
+        Frame {
+            start: f_start,
+            duration: self.frame_len,
+            rms: rms_sum,
+            samples,
+        }
+    }
+
+    /// Builds the frame sequence spanning `[start, end)`, bit-identical to
+    /// [`FrameSeq::build_with_floors`] over the same samples. May be called
+    /// repeatedly with a growing `end` as more samples arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn build(&mut self, end: f64) -> FrameSeq {
+        assert!(end >= self.start, "frame range end before start");
+        let count = ((end - self.start) / self.frame_len).ceil() as usize;
+        // Finalize frames that can no longer change: every future sample
+        // arrives at `t >= max_time` in a monotone feed, so a frame ending
+        // at or before `max_time` is settled (membership needs
+        // `t < f_start + frame_len`, the same rounded expression as here).
+        while self.frame_start(self.done.len()) + self.frame_len <= self.max_time {
+            let frame = self.compute_frame(self.done.len());
+            self.done.push(frame);
+        }
+        let mut frames = Vec::with_capacity(count);
+        frames.extend(self.done.iter().take(count).copied());
+        for k in frames.len()..count {
+            frames.push(self.compute_frame(k));
+        }
+        frames_built_counter().add(frames.len() as u64);
+        FrameSeq { frames }
     }
 }
 
@@ -337,5 +543,84 @@ mod tests {
     #[should_panic(expected = "frame length must be positive")]
     fn zero_frame_len_panics() {
         FrameSeq::build(&[], 0.0, 1.0, 0.0);
+    }
+
+    /// Interleaves the streams' samples in global time order, the order a
+    /// live feed would deliver them.
+    fn push_interleaved(builder: &mut FrameBuilder, streams: &[TimeSeries]) {
+        let mut samples: Vec<(f64, usize, f64)> = streams
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.iter().map(move |(t, v)| (t, i, v)))
+            .collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        for (t, i, v) in samples {
+            builder.push(i, t, v);
+        }
+    }
+
+    #[test]
+    fn builder_matches_batch_with_floors_and_ragged_spans() {
+        // Stream 0 covers the whole second; stream 1 only a middle chunk.
+        let a: TimeSeries = (0..100)
+            .map(|i| (i as f64 * 0.01, (i as f64 * 0.37).sin() * 2.0))
+            .collect();
+        let b: TimeSeries = (30..60)
+            .map(|i| (i as f64 * 0.01, (i as f64 * 0.53).cos() * 3.0))
+            .collect();
+        let floors = vec![0.4, 1.1];
+        let batch =
+            FrameSeq::build_with_floors(&[a.clone(), b.clone()], Some(&floors), 0.0, 0.99, 0.1);
+        let mut builder = FrameBuilder::new(2, Some(floors), 0.0, 0.1);
+        push_interleaved(&mut builder, &[a, b]);
+        assert_eq!(builder.build(0.99), batch);
+    }
+
+    #[test]
+    fn builder_incremental_builds_match_growing_batch() {
+        let s: TimeSeries = (0..200)
+            .map(|i| (i as f64 * 0.013, i as f64 * 0.1))
+            .collect();
+        let mut builder = FrameBuilder::new(1, None, 0.0, 0.1);
+        let mut fed = TimeSeries::new();
+        for (t, v) in s.iter() {
+            builder.push(0, t, v);
+            fed.push(t, v);
+            let end = t;
+            let batch = FrameSeq::build(&[fed.clone()], 0.0, end, 0.1);
+            assert_eq!(builder.build(end), batch, "diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn builder_out_of_order_push_invalidates_finalized_prefix() {
+        let mut builder = FrameBuilder::new(1, None, 0.0, 0.1);
+        builder.push(0, 0.05, 1.0);
+        builder.push(0, 0.95, 1.0);
+        let _ = builder.build(1.0); // finalizes the early frames
+        builder.push(0, 0.05, 3.0); // lands in finalized frame 0
+        let batch: TimeSeries = [(0.05, 1.0), (0.05, 3.0), (0.95, 1.0)]
+            .into_iter()
+            .collect();
+        // Note the batch stream must accumulate in the builder's push order
+        // within the frame for bit-identity; (1.0, 3.0) here.
+        assert_eq!(builder.build(1.0), FrameSeq::build(&[batch], 0.0, 1.0, 0.1));
+    }
+
+    #[test]
+    fn builder_ignores_samples_before_start() {
+        let mut builder = FrameBuilder::new(1, None, 1.0, 0.1);
+        builder.push(0, 0.5, 9.0);
+        builder.push(0, 1.05, 2.0);
+        let s: TimeSeries = [(0.5, 9.0), (1.05, 2.0)].into_iter().collect();
+        assert_eq!(builder.build(1.1), FrameSeq::build(&[s], 1.0, 1.1, 0.1));
+    }
+
+    #[test]
+    fn builder_empty_build_spans_range() {
+        let mut builder = FrameBuilder::new(2, None, 0.0, 0.1);
+        let fs = builder.build(0.55);
+        assert_eq!(fs.len(), 6);
+        assert!(fs.frames().iter().all(|f| f.rms == 0.0 && f.samples == 0));
     }
 }

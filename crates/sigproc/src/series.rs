@@ -60,6 +60,13 @@ impl TimeSeries {
         self.values.push(v);
     }
 
+    /// Removes all samples, keeping the allocated capacity (for use as a
+    /// reusable scratch buffer with the `_into` methods).
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.values.clear();
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -133,21 +140,53 @@ impl TimeSeries {
     ///
     /// Panics if `dt <= 0`.
     pub fn resample(&self, dt: f64) -> TimeSeries {
-        assert!(dt > 0.0, "resample interval must be positive");
         let mut out = TimeSeries::new();
+        self.resample_into(dt, &mut out);
+        out
+    }
+
+    /// Like [`resample`](Self::resample), but reuses `out`'s allocation and
+    /// sweeps a single cursor over the samples — O(n + m) for n samples and
+    /// m grid points instead of a binary search per grid point. The output
+    /// is bit-identical to [`resample`](Self::resample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn resample_into(&self, dt: f64, out: &mut TimeSeries) {
+        assert!(dt > 0.0, "resample interval must be positive");
+        out.clear();
         if self.times.len() < 2 {
-            return out;
+            return;
         }
         let start = self.times[0];
         let end = *self.times.last().expect("nonempty");
+        let mut idx = 0;
         let mut t = start;
         while t <= end + 1e-12 {
-            if let Some(v) = self.interpolate(t.min(end)) {
-                out.push(t.min(end), v);
+            let tc = t.min(end);
+            // Advance the cursor to the first sample with time >= tc — the
+            // same index `interpolate`'s partition_point would find. Grid
+            // times are non-decreasing, so the cursor never moves back.
+            while idx < self.times.len() && self.times[idx] < tc {
+                idx += 1;
             }
+            let v = if idx < self.times.len() && self.times[idx] == tc {
+                self.values[idx]
+            } else {
+                // tc lies strictly between times[idx-1] and times[idx].
+                let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+                let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+                if t1 == t0 {
+                    v1
+                } else {
+                    let frac = (tc - t0) / (t1 - t0);
+                    v0 + frac * (v1 - v0)
+                }
+            };
+            out.push(tc, v);
             t += dt;
         }
-        out
     }
 
     /// Returns the sub-series with `start <= t < end`.
@@ -172,10 +211,22 @@ impl TimeSeries {
     /// the later sample. Empty if fewer than two samples.
     pub fn diff(&self) -> TimeSeries {
         let mut out = TimeSeries::new();
-        for i in 1..self.times.len() {
-            out.push(self.times[i], self.values[i] - self.values[i - 1]);
-        }
+        self.diff_into(&mut out);
         out
+    }
+
+    /// Like [`diff`](Self::diff), but reuses `out`'s allocation.
+    pub fn diff_into(&self, out: &mut TimeSeries) {
+        out.clear();
+        if self.times.len() < 2 {
+            return;
+        }
+        out.times.reserve(self.times.len() - 1);
+        out.values.reserve(self.times.len() - 1);
+        for i in 1..self.times.len() {
+            out.times.push(self.times[i]);
+            out.values.push(self.values[i] - self.values[i - 1]);
+        }
     }
 }
 
@@ -279,6 +330,44 @@ mod tests {
         let m = ts.map_values(|v| v * 2.0);
         assert_eq!(m.times(), ts.times());
         assert_eq!(m.values()[5], 10.0);
+    }
+
+    #[test]
+    fn resample_into_reuses_buffer_and_matches_resample() {
+        let ts = ramp();
+        let mut out = TimeSeries::new();
+        out.push(99.0, 99.0); // stale content must be cleared
+        ts.resample_into(0.07, &mut out);
+        assert_eq!(out, ts.resample(0.07));
+    }
+
+    #[test]
+    fn resample_into_handles_duplicate_times() {
+        let ts: TimeSeries = [(0.0, 1.0), (0.5, 2.0), (0.5, 4.0), (1.0, 3.0)]
+            .into_iter()
+            .collect();
+        let mut out = TimeSeries::new();
+        ts.resample_into(0.25, &mut out);
+        assert_eq!(out, ts.resample(0.25));
+    }
+
+    #[test]
+    fn diff_into_matches_diff() {
+        let ts = ramp();
+        let mut out = TimeSeries::new();
+        ts.diff_into(&mut out);
+        assert_eq!(out, ts.diff());
+        TimeSeries::new().diff_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_usable() {
+        let mut ts = ramp();
+        ts.clear();
+        assert!(ts.is_empty());
+        ts.push(0.0, 1.0); // still accepts samples after clear
+        assert_eq!(ts.len(), 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use sigproc::filter::moving_average;
+use sigproc::frames::{FrameBuilder, FrameSeq};
 use sigproc::otsu::otsu_threshold;
 use sigproc::series::TimeSeries;
 use sigproc::stats::{self, Welford};
@@ -126,6 +127,90 @@ proptest! {
         }
         let expected = ts.iter().filter(|(t, _)| *t >= a && *t < a + len).count();
         prop_assert_eq!(s.len(), expected);
+    }
+
+    /// The streaming `FrameBuilder` emits frames **bit-identical** to the
+    /// batch `FrameSeq::build_with_floors` for any stream count, sample
+    /// interleaving, ragged per-stream spans (including empty frames and
+    /// empty streams), noise floors, and a mid-feed intermediate build.
+    #[test]
+    fn frame_builder_matches_batch_build(
+        specs in prop::collection::vec(
+            (
+                0.0f64..1.0,                                            // stream start offset
+                prop::collection::vec((0.0f64..0.15, -5.0f64..5.0), 0..40), // (dt, value) steps
+            ),
+            1..4,
+        ),
+        use_floors in any::<bool>(),
+        floor_seed in prop::collection::vec(-0.5f64..1.5, 3..4),
+        frame_len in 0.05f64..0.3,
+        start in 0.0f64..0.3,
+        span in 0.0f64..2.5,
+    ) {
+        let streams: Vec<TimeSeries> = specs
+            .iter()
+            .map(|(offset, steps)| {
+                let mut t = *offset;
+                let mut ts = TimeSeries::new();
+                for &(dt, v) in steps {
+                    ts.push(t, v);
+                    t += dt;
+                }
+                ts
+            })
+            .collect();
+        let floors: Option<Vec<f64>> =
+            use_floors.then(|| floor_seed[..streams.len()].to_vec());
+        let end = start + span;
+        let batch = FrameSeq::build_with_floors(&streams, floors.as_deref(), start, end, frame_len);
+
+        let mut builder = FrameBuilder::new(streams.len(), floors, start, frame_len);
+        // Interleave samples in global time order, as a live feed would
+        // deliver them; the stable sort keeps each stream's own order.
+        let mut samples: Vec<(f64, usize, f64)> = streams
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.iter().map(move |(t, v)| (t, i, v)))
+            .collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        let mid = samples.len() / 2;
+        for &(t, i, v) in &samples[..mid] {
+            builder.push(i, t, v);
+        }
+        let _ = builder.build(end); // intermediate build must not disturb the final one
+        for &(t, i, v) in &samples[mid..] {
+            builder.push(i, t, v);
+        }
+        prop_assert_eq!(builder.build(end), batch);
+    }
+
+    /// The cursor-sweep `resample_into` is bit-identical to a per-grid-point
+    /// `interpolate` walk (the previous implementation).
+    #[test]
+    fn resample_into_matches_pointwise_interpolate(
+        steps in prop::collection::vec((0.0f64..0.3, -10.0f64..10.0), 2..60),
+        dt in 0.01f64..0.5,
+    ) {
+        let mut t = 0.0;
+        let mut ts = TimeSeries::new();
+        for &(step, v) in &steps {
+            ts.push(t, v);
+            t += step;
+        }
+        let mut reference = TimeSeries::new();
+        let start = ts.start_time().expect("nonempty");
+        let end = ts.end_time().expect("nonempty");
+        let mut g = start;
+        while g <= end + 1e-12 {
+            if let Some(v) = ts.interpolate(g.min(end)) {
+                reference.push(g.min(end), v);
+            }
+            g += dt;
+        }
+        let mut out = TimeSeries::new();
+        ts.resample_into(dt, &mut out);
+        prop_assert_eq!(out, reference);
     }
 
     /// Percentiles are monotone in the requested quantile.

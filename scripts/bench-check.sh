@@ -5,11 +5,29 @@
 #   --run-all   also time the full `run_all quick` roster serial vs parallel
 #               (slower; produces the run_all_quick entry in the JSON)
 #
-# Fails on any build error, test failure, or bench panic. Criterion sample
-# time is kept short via CRITERION_SAMPLE_MS so the pass stays quick.
+# Fails on any build error, test failure, bench panic, or throughput
+# regression: the freshly measured `ingest_batch` and `incremental_framing`
+# reports_per_s must stay within BENCH_TOLERANCE (default 0.6) of the
+# committed BENCH_pipeline.json. Parallel-speedup checks are skipped (not
+# gated) on single-core machines, where "parallel" has nothing to win.
+# Criterion sample time is kept short via CRITERION_SAMPLE_MS so the pass
+# stays quick.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Baselines must be read before the benches rewrite BENCH_pipeline.json.
+# Prefer the committed copy; fall back to the working tree for trees
+# without git history.
+baseline=$(git show HEAD:BENCH_pipeline.json 2>/dev/null || cat BENCH_pipeline.json 2>/dev/null || true)
+
+# baseline_rps <key>: the committed reports_per_s for one top-level entry
+# (the file is one entry per line), empty if the entry does not exist yet.
+baseline_rps() {
+  sed -n "s/^ *\"$1\":.*\"reports_per_s\": \([0-9]*\).*/\1/p" <<<"$baseline" | head -n 1
+}
+base_ingest=$(baseline_rps ingest_batch)
+base_framing=$(baseline_rps incremental_framing)
 
 echo "== format =="
 cargo fmt --check
@@ -53,5 +71,46 @@ grep -q '"telemetry_overhead"' BENCH_pipeline.json || {
   echo "bench-check: telemetry_overhead entry missing from BENCH_pipeline.json" >&2
   exit 1
 }
+
+echo "== throughput regression gates =="
+# Fresh values from the file the benches just rewrote.
+fresh_rps() {
+  sed -n "s/^ *\"$1\":.*\"reports_per_s\": \([0-9]*\).*/\1/p" BENCH_pipeline.json | head -n 1
+}
+tolerance=${BENCH_TOLERANCE:-0.6}
+gate_rps() { # name fresh baseline
+  local name=$1 fresh=$2 base=$3
+  if [ -z "$fresh" ]; then
+    echo "bench-check: $name entry missing from BENCH_pipeline.json" >&2
+    exit 1
+  fi
+  if [ -z "$base" ]; then
+    echo "$name: ${fresh} reports/s (no committed baseline; gate skipped)"
+    return
+  fi
+  local floor
+  floor=$(awk -v b="$base" -v t="$tolerance" 'BEGIN { printf "%d", b * t }')
+  if [ "$fresh" -lt "$floor" ]; then
+    echo "bench-check: $name regressed to ${fresh} reports/s" \
+      "(committed ${base}, floor ${floor} at tolerance ${tolerance})" >&2
+    exit 1
+  fi
+  echo "$name: ${fresh} reports/s (committed ${base}, floor ${floor}): OK"
+}
+gate_rps ingest_batch "$(fresh_rps ingest_batch)" "$base_ingest"
+gate_rps incremental_framing "$(fresh_rps incremental_framing)" "$base_framing"
+
+# Parallel-speedup sanity: only meaningful with more than one core.
+cores=$(sed -n 's/^ *"cores": \([0-9]*\),*/\1/p' BENCH_pipeline.json | head -n 1)
+if [ "${cores:-1}" -le 1 ]; then
+  echo "parallel-speedup checks skipped: cores=${cores:-1}"
+else
+  speedup=$(sed -n 's/^ *"stroke_batch_13":.*"speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json | head -n 1)
+  awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 1.0) }' || {
+    echo "bench-check: stroke_batch_13 parallel speedup ${speedup} < 1.0 on ${cores} cores" >&2
+    exit 1
+  }
+  echo "stroke_batch_13 parallel speedup ${speedup} on ${cores} cores: OK"
+fi
 
 echo "bench-check: OK"
