@@ -124,6 +124,42 @@ fn time_incremental_framing(
     ((rounds * reports.len()) as f64 / elapsed, reports.len())
 }
 
+/// Times the raw stage graph over the golden session — the same replay as
+/// [`time_incremental_framing`] but driving [`rfipad::StageGraph`]
+/// directly, bypassing the facade. The entry feeds bench-check's
+/// `stage_overhead` gate: the graph-composed replay must hold the
+/// committed `trace_replay` throughput.
+fn time_stage_graph(bench: &Bench, reports: &[rfid_gen2::report::TagReport]) -> (f64, usize) {
+    use rfipad::{PipelineEvent, StageGraph};
+    let rounds = 20;
+    let mut events = Vec::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let mut graph = StageGraph::builder()
+            .recognizer(bench.recognizer.clone())
+            .letter_gap_s(1.5)
+            .build()
+            .expect("valid graph");
+        let mut letter = None;
+        for r in reports {
+            graph.push_into(*r, &mut events);
+        }
+        graph.finish_into(&mut events);
+        for e in events.drain(..) {
+            if let PipelineEvent::LetterRecognized { letter: l, .. } = e {
+                letter = l;
+            }
+        }
+        assert_eq!(
+            letter,
+            Some(experiments::golden::GOLDEN_LETTER),
+            "graph replay must still recognize the golden letter"
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((rounds * reports.len()) as f64 / elapsed, reports.len())
+}
+
 fn time_run_all(jobs_flag: &str) -> Option<f64> {
     let exe_dir = std::env::current_exe().ok()?.parent()?.to_path_buf();
     let start = Instant::now();
@@ -175,6 +211,9 @@ fn main() {
     obs::info!("timing serial streaming replay (incremental framing)");
     let (framing_rps, framing_reports) = time_incremental_framing(&bench, &golden.reports);
 
+    obs::info!("timing raw stage-graph replay (facade bypassed)");
+    let (graph_rps, graph_reports) = time_stage_graph(&bench, &golden.reports);
+
     let run_all = if with_run_all {
         obs::info!("timing run_all quick --jobs 1 (serial)");
         let one = time_run_all("1");
@@ -203,6 +242,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"incremental_framing\": {{ \"reports\": {framing_reports}, \"reports_per_s\": {framing_rps:.0} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"stage_overhead\": {{ \"reports\": {graph_reports}, \"reports_per_s\": {graph_rps:.0} }},\n"
     ));
     if let Some((one, all)) = run_all {
         json.push_str(&format!(

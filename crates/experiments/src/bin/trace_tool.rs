@@ -14,6 +14,7 @@
 //! trace_tool inspect <trace>
 //! trace_tool replay <trace>
 //! trace_tool stats <trace> [--bench]
+//! trace_tool checkpoint <trace>
 //! ```
 //!
 //! `record` simulates the golden session (or one writing `letter`) on the
@@ -26,6 +27,10 @@
 //! exposition of the process-global metrics registry (self-validated);
 //! with `--bench` it also times instrumented vs `RFIPAD_LOG=off` replays
 //! and merges a `telemetry_overhead` entry into `BENCH_pipeline.json`.
+//! `checkpoint` interrupts an online replay halfway, ships the session
+//! through the checkpoint JSON wire form, resumes on a fresh pipeline,
+//! and exits nonzero unless the stitched event stream matches an
+//! uninterrupted replay — the migration smoke test bench-check runs.
 
 use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER, GOLDEN_TRIAL_SEED};
 use hand_kinematics::user::UserProfile;
@@ -42,6 +47,7 @@ fn usage() -> ExitCode {
     eprintln!("       trace_tool inspect <trace>");
     eprintln!("       trace_tool replay <trace>");
     eprintln!("       trace_tool stats <trace> [--bench]");
+    eprintln!("       trace_tool checkpoint <trace>");
     ExitCode::FAILURE
 }
 
@@ -256,6 +262,69 @@ fn stats(path: &str, bench_overhead: bool) -> Result<(), RfipadError> {
     Ok(())
 }
 
+/// Interrupts an online replay of the trace at its halfway report,
+/// round-trips the checkpoint through JSON, resumes on a fresh pipeline,
+/// and verifies the stitched event stream equals an uninterrupted replay.
+fn checkpoint(path: &str) -> Result<(), RfipadError> {
+    use rfipad::engine::normalize_events;
+    use rfipad::PipelineCheckpoint;
+    let reports = read_trace(path)?;
+    if reports.len() < 2 {
+        return Err(RfipadError::Source(format!(
+            "{path}: need at least 2 reports to interrupt a replay"
+        )));
+    }
+    obs::info!("rebuilding golden bench");
+    let bench = golden_bench();
+    let pipeline = || {
+        OnlinePipeline::builder()
+            .recognizer(bench.recognizer.clone())
+            .letter_gap_s(1.5)
+            .build()
+    };
+
+    let mut uninterrupted = Vec::new();
+    let mut p = pipeline()?;
+    for r in &reports {
+        p.push_into(*r, &mut uninterrupted);
+    }
+    p.finish_into(&mut uninterrupted);
+    normalize_events(&mut uninterrupted);
+
+    let split = reports.len() / 2;
+    let mut stitched = Vec::new();
+    let mut first = pipeline()?;
+    for r in &reports[..split] {
+        first.push_into(*r, &mut stitched);
+    }
+    let wire = first.checkpoint().to_json();
+    drop(first); // only the serialized snapshot crosses the "migration"
+    let mut resumed = pipeline()?;
+    resumed.restore(&PipelineCheckpoint::from_json(&wire)?)?;
+    for r in &reports[split..] {
+        resumed.push_into(*r, &mut stitched);
+    }
+    resumed.finish_into(&mut stitched);
+    normalize_events(&mut stitched);
+
+    if stitched != uninterrupted {
+        return Err(RfipadError::Source(format!(
+            "checkpoint/restore at report {split} diverged: {} events, \
+             uninterrupted replay has {}",
+            stitched.len(),
+            uninterrupted.len()
+        )));
+    }
+    println!(
+        "checkpoint/restore at report {split}/{} reproduced the uninterrupted \
+         stream ({} events, {} checkpoint bytes)",
+        reports.len(),
+        uninterrupted.len(),
+        wire.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -268,6 +337,7 @@ fn main() -> ExitCode {
         [cmd, path] if cmd == "replay" => replay(path),
         [cmd, path] if cmd == "stats" => stats(path, false),
         [cmd, path, flag] if cmd == "stats" && flag == "--bench" => stats(path, true),
+        [cmd, path] if cmd == "checkpoint" => checkpoint(path),
         _ => return usage(),
     };
     match result {

@@ -3,9 +3,16 @@
 //! A deployment serves many pads at once: several kiosks replay live
 //! antenna streams, an operator replays recorded traces, and all of them
 //! multiplex onto one process. This module turns the single-stream
-//! [`OnlinePipeline`] into a serving engine: each *session* owns one
-//! pipeline, reports flow in over a bounded queue with an explicit
-//! [`Backpressure`] policy, and a small worker pool drains the queues.
+//! [`OnlinePipeline`] into a serving engine: each *session* owns the
+//! pipeline's [`StageGraph`], reports flow in over a bounded queue with
+//! an explicit [`Backpressure`] policy, and a small worker pool drains
+//! the queues.
+//!
+//! Sessions are also *migratable*: [`SessionHandle::checkpoint`] freezes
+//! a session's mid-stream recognition state into a serializable
+//! [`SessionCheckpoint`], and [`Engine::restore_session`] resumes it —
+//! on this engine or another — so the remainder of the stream produces
+//! exactly the events the uninterrupted session would have.
 //!
 //! Determinism is preserved per session: a session is only ever drained by
 //! the one worker it was assigned to, and never by two threads at once, so
@@ -33,6 +40,7 @@
 
 use crate::error::RfipadError;
 use crate::pipeline::{OnlinePipeline, PipelineEvent};
+use crate::stage::{PipelineCheckpoint, StageGraph};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use rfid_gen2::report::{ReportBatch, TagReport};
 use rfid_gen2::source::ReportSource;
@@ -240,12 +248,18 @@ pub struct LatencySnapshot {
 
 /// Mutable per-session state, only ever touched under its mutex.
 struct SessionState {
-    pipeline: OnlinePipeline,
+    graph: StageGraph,
     events: Vec<PipelineEvent>,
     latency: LatencyRecorder,
     /// Event scratch reused across drains, so the worker hands events to
-    /// the pipeline's `push_into`/`push_batch` without allocating per item.
+    /// the graph's `push_into`/`push_batch` without allocating per item.
     scratch: Vec<PipelineEvent>,
+    /// Reports the worker has pushed through the graph, incremented under
+    /// this lock. [`SessionHandle::checkpoint`] compares it against the
+    /// feed counters to know when the session has quiesced: the queue
+    /// being empty is not enough, because the worker pops an item *before*
+    /// taking this lock.
+    processed: u64,
 }
 
 /// One slot in a session's queue: a single fed report, or a whole batch.
@@ -341,14 +355,14 @@ fn drain_session(shared: &Shared, sess: &SessionInner) {
     let em = crate::telemetry::engine_metrics();
     while let Ok(item) = sess.queue_rx.try_recv() {
         let t0 = Instant::now();
+        let n_in = item.reports() as u64;
         let mut state = sess.state.lock().expect("session state poisoned");
-        let SessionState {
-            pipeline, scratch, ..
-        } = &mut *state;
+        let SessionState { graph, scratch, .. } = &mut *state;
         match item {
-            QueueItem::One(report) => pipeline.push_into(report, scratch),
-            QueueItem::Batch(batch) => pipeline.push_batch(batch.iter(), scratch),
+            QueueItem::One(report) => graph.push_into(report, scratch),
+            QueueItem::Batch(batch) => graph.push_batch(batch.iter(), scratch),
         }
+        state.processed += n_in;
         let elapsed = t0.elapsed();
         state.latency.record(elapsed);
         em.push_latency.record_duration(elapsed);
@@ -366,7 +380,7 @@ fn drain_session(shared: &Shared, sess: &SessionInner) {
         && !sess.finished.load(Ordering::SeqCst)
     {
         let mut state = sess.state.lock().expect("session state poisoned");
-        let events = state.pipeline.finish();
+        let events = state.graph.finish();
         let n = events.len() as u64;
         sess.counters.events_out.fetch_add(n, Ordering::Relaxed);
         shared.totals.events_out.fetch_add(n, Ordering::Relaxed);
@@ -506,7 +520,33 @@ impl Engine {
         id: impl Into<String>,
         pipeline: OnlinePipeline,
     ) -> Result<SessionHandle, RfipadError> {
-        let id = id.into();
+        self.open_graph(id.into(), pipeline.into_graph())
+    }
+
+    /// Opens a session resuming from `checkpoint`: the `pipeline` supplies
+    /// the recognizer and configuration (it must match the one the
+    /// checkpoint was taken under), the checkpoint supplies the mid-stream
+    /// state. The restored session then consumes the remainder of the
+    /// report stream exactly as the original would have — the migration
+    /// path for a session moved across engines or processes.
+    ///
+    /// # Errors
+    ///
+    /// [`RfipadError::Checkpoint`] if the checkpoint does not match the
+    /// pipeline's configuration or fails its integrity checks; otherwise
+    /// as for [`Engine::open_session`].
+    pub fn restore_session(
+        &self,
+        id: impl Into<String>,
+        pipeline: OnlinePipeline,
+        checkpoint: &SessionCheckpoint,
+    ) -> Result<SessionHandle, RfipadError> {
+        let mut graph = pipeline.into_graph();
+        graph.restore_checkpoint(checkpoint.pipeline())?;
+        self.open_graph(id.into(), graph)
+    }
+
+    fn open_graph(&self, id: String, graph: StageGraph) -> Result<SessionHandle, RfipadError> {
         if self.shared.down.load(Ordering::SeqCst) {
             return Err(RfipadError::EngineDown);
         }
@@ -516,7 +556,7 @@ impl Engine {
         let sess = Arc::new(SessionInner {
             id: id.clone(),
             worker,
-            letter_gap_s: pipeline.letter_gap_s(),
+            letter_gap_s: graph.letter_gap_s(),
             queue_tx,
             queue_rx,
             scheduled: AtomicBool::new(false),
@@ -526,10 +566,11 @@ impl Engine {
             last_fed_us: AtomicU64::new(self.shared.epoch.elapsed().as_micros() as u64),
             counters: Counters::default(),
             state: Mutex::new(SessionState {
-                pipeline,
+                graph,
                 events: Vec::new(),
                 latency: LatencyRecorder::new(),
                 scratch: Vec::new(),
+                processed: 0,
             }),
             done: Condvar::new(),
         });
@@ -830,7 +871,7 @@ fn session_stats(sess: &SessionInner) -> SessionStats {
         reports_in: sess.counters.reports_in.load(Ordering::Relaxed),
         reports_dropped: sess.counters.reports_dropped.load(Ordering::Relaxed),
         events_out: sess.counters.events_out.load(Ordering::Relaxed),
-        out_of_order: state.pipeline.out_of_order_count(),
+        out_of_order: state.graph.out_of_order_count(),
         pending_events: state.events.len(),
         queue_depth: sess.queue_rx.len(),
         push_latency: state.latency.snapshot(),
@@ -888,6 +929,109 @@ pub struct EngineStats {
     pub events_out: u64,
     /// Open sessions, sorted by id.
     pub sessions: Vec<SessionStats>,
+}
+
+/// A frozen, serializable snapshot of one session's recognition state,
+/// taken by [`SessionHandle::checkpoint`] and consumed by
+/// [`Engine::restore_session`].
+///
+/// The checkpoint captures the session's [`PipelineCheckpoint`] — buffer,
+/// reported spans, pending strokes, clocks — but *not* the recognizer
+/// (layout, calibration, grammar), which the restoring side supplies via
+/// a freshly built [`OnlinePipeline`]. Undrained events and counters stay
+/// with the original session; drain them before migrating.
+///
+/// [`SessionCheckpoint::to_json`] / [`SessionCheckpoint::from_json`]
+/// round-trip the snapshot through a versioned, self-contained JSON
+/// document bit-exactly, so it can cross a process boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    id: String,
+    pipeline: PipelineCheckpoint,
+}
+
+/// Version stamp of the [`SessionCheckpoint`] JSON envelope (the wrapped
+/// pipeline checkpoint carries its own).
+const SESSION_CHECKPOINT_VERSION: u64 = 1;
+
+impl SessionCheckpoint {
+    /// The id of the session the checkpoint was taken from (informational
+    /// — [`Engine::restore_session`] names the restored session itself).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The wrapped mid-stream pipeline state.
+    pub fn pipeline(&self) -> &PipelineCheckpoint {
+        &self.pipeline
+    }
+
+    /// Serializes the checkpoint. The output is bit-stable: serializing
+    /// the same checkpoint twice yields identical strings.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"version\":{},\"id\":\"{}\",\"pipeline\":{}}}",
+            SESSION_CHECKPOINT_VERSION,
+            obs::expo::escape_json(&self.id),
+            self.pipeline.to_json(),
+        )
+    }
+
+    /// Parses a checkpoint serialized by [`SessionCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`RfipadError::Checkpoint`] on malformed JSON, an unknown version,
+    /// or unknown / missing fields — a corrupted or foreign document is
+    /// rejected rather than half-restored.
+    pub fn from_json(json: &str) -> Result<Self, RfipadError> {
+        let reject = |msg: String| RfipadError::Checkpoint(msg);
+        let body = json
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| reject("session checkpoint is not a JSON object".into()))?;
+        let mut version = None;
+        let mut id = None;
+        let mut pipeline = None;
+        for field in crate::metrics::split_top_level(body) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| reject(format!("field without ':': {field:?}")))?;
+            match key.trim().trim_matches('"') {
+                "version" => {
+                    version = Some(
+                        value
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|e| reject(format!("bad session checkpoint version: {e}")))?,
+                    );
+                }
+                "id" => {
+                    id = Some(
+                        crate::metrics::unescape_json_string(value.trim())
+                            .map_err(|e| reject(format!("bad session id: {e}")))?,
+                    );
+                }
+                "pipeline" => pipeline = Some(PipelineCheckpoint::from_json(value.trim())?),
+                other => {
+                    return Err(reject(format!(
+                        "unknown session checkpoint field {other:?}"
+                    )));
+                }
+            }
+        }
+        match (version, id, pipeline) {
+            (Some(SESSION_CHECKPOINT_VERSION), Some(id), Some(pipeline)) => {
+                Ok(Self { id, pipeline })
+            }
+            (Some(v), _, _) if v != SESSION_CHECKPOINT_VERSION => Err(reject(format!(
+                "unsupported session checkpoint version {v} (expected \
+                 {SESSION_CHECKPOINT_VERSION})"
+            ))),
+            _ => Err(reject("incomplete session checkpoint".into())),
+        }
+    }
 }
 
 /// A feeder's handle to one open session.
@@ -1081,6 +1225,46 @@ impl SessionHandle {
     /// eviction, or engine shutdown).
     pub fn is_open(&self) -> bool {
         !self.inner.closed.load(Ordering::SeqCst) && !self.shared.down.load(Ordering::SeqCst)
+    }
+
+    /// Snapshots the session's recognition state for migration: waits
+    /// until the worker has drained every report accepted so far, then
+    /// freezes the pipeline state into a [`SessionCheckpoint`].
+    ///
+    /// The session stays open and keeps accepting feeds afterwards; the
+    /// checkpoint is a copy, not a detach. The caller must not feed the
+    /// session concurrently with this call — quiescence is defined
+    /// against the reports already accepted, so a racing feeder makes
+    /// "drained" a moving target (the snapshot would still be taken at
+    /// *some* consistent prefix of the stream, just not a predictable
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// [`RfipadError::SessionClosed`] once the session was closed or
+    /// evicted; [`RfipadError::EngineDown`] after engine shutdown.
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, RfipadError> {
+        let sess = &self.inner;
+        loop {
+            if self.shared.down.load(Ordering::SeqCst) {
+                return Err(RfipadError::EngineDown);
+            }
+            if sess.closed.load(Ordering::SeqCst) {
+                return Err(RfipadError::SessionClosed(sess.id.clone()));
+            }
+            {
+                let state = sess.state.lock().expect("session state poisoned");
+                let accounted =
+                    state.processed + sess.counters.reports_dropped.load(Ordering::Relaxed);
+                if accounted == sess.counters.reports_in.load(Ordering::Relaxed) {
+                    return Ok(SessionCheckpoint {
+                        id: sess.id.clone(),
+                        pipeline: state.graph.checkpoint(),
+                    });
+                }
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Closes the session: waits for every queued report to be processed
@@ -1671,6 +1855,115 @@ mod tests {
         // Closed sessions drop their labelled series at the next render.
         let text = engine.metrics_text();
         assert!(!text.contains("session=\"meter-ep\""));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_mid_stream() {
+        let expected = serial_events();
+        let reports = recording();
+        let split = reports.len() / 2; // mid-stroke: t ≈ 3.5 s of the [2, 4) sweep
+        let engine = Engine::builder().workers(2).build().expect("engine");
+        let session = engine
+            .open_session("migrate-src", pipeline())
+            .expect("open");
+        for o in &reports[..split] {
+            session.feed(*o).expect("feed");
+        }
+        let checkpoint = session.checkpoint().expect("checkpoint");
+        assert_eq!(checkpoint.id(), "migrate-src");
+        // The checkpoint survives a serialization round-trip bit-exactly.
+        let wire = checkpoint.to_json();
+        let parsed = SessionCheckpoint::from_json(&wire).expect("parse");
+        assert_eq!(parsed, checkpoint);
+        assert_eq!(parsed.to_json(), wire);
+        // Events produced before the migration stay with the source.
+        let mut events = session.drain_events();
+        // Resume on a fresh session (fresh recognizer, restored state) and
+        // feed the rest of the stream there.
+        let restored = engine
+            .restore_session("migrate-dst", pipeline(), &parsed)
+            .expect("restore");
+        for o in &reports[split..] {
+            restored.feed(*o).expect("feed");
+        }
+        events.extend(restored.close().expect("close restored"));
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+        session.close().expect("close source");
+    }
+
+    #[test]
+    fn session_checkpoint_json_rejects_corruption() {
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("cp", quiet_pipeline()).expect("open");
+        for o in quiet_reports(30) {
+            session.feed(o).expect("feed");
+        }
+        let wire = session.checkpoint().expect("checkpoint").to_json();
+        assert!(matches!(
+            SessionCheckpoint::from_json("not json"),
+            Err(RfipadError::Checkpoint(_))
+        ));
+        // The first "version" in the document is the session envelope's.
+        let foreign = wire.replacen("\"version\":1", "\"version\":7", 1);
+        assert!(matches!(
+            SessionCheckpoint::from_json(&foreign),
+            Err(RfipadError::Checkpoint(_))
+        ));
+        let extra = format!("{{\"surprise\":true,{}", &wire[1..]);
+        assert!(matches!(
+            SessionCheckpoint::from_json(&extra),
+            Err(RfipadError::Checkpoint(_))
+        ));
+        session.close().expect("close");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("src", pipeline()).expect("open");
+        let checkpoint = session.checkpoint().expect("checkpoint");
+        // Same recognizer, different letter gap: a different pipeline
+        // configuration must refuse the snapshot.
+        let other = OnlinePipeline::builder()
+            .recognizer(pipeline().recognizer().clone())
+            .letter_gap_s(2.0)
+            .build()
+            .expect("pipeline");
+        assert!(matches!(
+            engine.restore_session("dst", other, &checkpoint),
+            Err(RfipadError::Checkpoint(_))
+        ));
+        session.close().expect("close");
+    }
+
+    #[test]
+    fn checkpoint_fails_once_the_session_is_gone() {
+        let engine = Engine::builder()
+            .workers(1)
+            .idle_eviction_factor(0.02)
+            .build()
+            .expect("engine");
+        let session = engine.open_session("gone", quiet_pipeline()).expect("open");
+        session
+            .feed(quiet_reports(1).pop().expect("one"))
+            .expect("feed");
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(engine.sweep_idle(), vec!["gone".to_string()]);
+        assert!(matches!(
+            session.checkpoint(),
+            Err(RfipadError::SessionClosed(_))
+        ));
+        session.close().expect("close after eviction");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_fails_after_shutdown() {
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("down", quiet_pipeline()).expect("open");
+        engine.shutdown();
+        assert!(matches!(session.checkpoint(), Err(RfipadError::EngineDown)));
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum RfipadError {
     SessionClosed(String),
     /// The ingest engine's workers are gone (shut down or panicked).
     EngineDown,
+    /// A pipeline or session checkpoint failed to serialize, parse, or
+    /// restore (corrupted payload, unsupported version, or a checkpoint
+    /// taken under a different pipeline configuration).
+    Checkpoint(String),
 }
 
 impl fmt::Display for RfipadError {
@@ -50,6 +54,7 @@ impl fmt::Display for RfipadError {
             RfipadError::SessionExists(id) => write!(f, "session {id:?} is already open"),
             RfipadError::SessionClosed(id) => write!(f, "session {id:?} is closed"),
             RfipadError::EngineDown => write!(f, "ingest engine is shut down"),
+            RfipadError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
         }
     }
 }
@@ -83,6 +88,8 @@ mod tests {
         };
         assert!(e.to_string().contains("needs 10"));
         assert!(!RfipadError::EmptyStream.to_string().is_empty());
+        let e = RfipadError::Checkpoint("version 9 unsupported".into());
+        assert!(e.to_string().contains("checkpoint rejected"));
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! 5. **Direction** ([`direction`]): two-stage RSS-trough ordering.
 //! 6. **Letters** ([`grammar`], [`recognizer`]): tree-structure grammar
 //!    with positional disambiguation (D/P, O/S, V/X).
-//! 7. **Online engine** ([`pipeline`]): streaming recognition with
-//!    response-time accounting.
+//! 7. **Online engine** ([`pipeline`], [`stage`]): streaming recognition
+//!    as a typed five-stage graph with response-time accounting and
+//!    checkpoint/restore for session migration.
 //! 8. **Multi-pad operation** ([`multipad`]): one reader serving several
 //!    pads while its ordinary identification traffic passes through — the
 //!    paper's cost-efficiency claim.
@@ -73,19 +74,23 @@ pub mod multipad;
 pub mod pipeline;
 pub mod recognizer;
 pub mod segmentation;
+pub mod stage;
 pub mod streams;
 pub(crate) mod telemetry;
 pub mod words;
 
 pub use calibration::Calibration;
 pub use config::RfipadConfig;
-pub use engine::{Backpressure, Engine, EngineStats, SessionHandle, SessionStats};
+pub use engine::{
+    Backpressure, Engine, EngineStats, SessionCheckpoint, SessionHandle, SessionStats,
+};
 pub use error::RfipadError;
 pub use layout::ArrayLayout;
 pub use multipad::{PadDispatcher, PadEvent, PadHandle};
 pub use pipeline::{OnlinePipeline, PipelineEvent};
 pub use recognizer::{RecognizedStroke, Recognizer, SessionResult};
 pub use segmentation::{Segmentation, StrokeSpan};
+pub use stage::{PipelineCheckpoint, Stage, StageGraph, StageGraphBuilder, StageState};
 pub use streams::{TagStreams, TagStreamsBuilder};
 pub use words::{DecodedWord, WordDecoder};
 
@@ -93,7 +98,7 @@ pub use words::{DecodedWord, WordDecoder};
 pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::config::RfipadConfig;
-    pub use crate::engine::{Backpressure, Engine, SessionHandle};
+    pub use crate::engine::{Backpressure, Engine, SessionCheckpoint, SessionHandle};
     pub use crate::error::RfipadError;
     pub use crate::grammar::GrammarTree;
     pub use crate::layout::ArrayLayout;
@@ -101,5 +106,6 @@ pub mod prelude {
     pub use crate::pipeline::{OnlinePipeline, PipelineEvent};
     pub use crate::recognizer::{RecognizedStroke, Recognizer, SessionResult};
     pub use crate::segmentation::{Segmentation, StrokeSpan};
+    pub use crate::stage::{PipelineCheckpoint, Stage, StageGraph};
     pub use crate::streams::TagStreams;
 }

@@ -166,10 +166,13 @@ impl ConfusionMatrix {
 }
 
 /// Splits on commas that sit outside quoted strings and outside nested
-/// `{}` — the boundaries between records in an array, or between fields
-/// inside one record. String contents (including escaped quotes and brace
-/// characters in label text) never split.
-fn split_top_level(s: &str) -> Vec<&str> {
+/// `{}`/`[]` — the boundaries between records in an array, or between
+/// fields inside one record. String contents (including escaped quotes and
+/// brace characters in label text) never split.
+///
+/// Shared with the checkpoint codec in [`crate::stage`], which follows the
+/// same hand-rolled JSON conventions.
+pub(crate) fn split_top_level(s: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut start = 0;
     let mut in_string = false;
@@ -187,8 +190,8 @@ fn split_top_level(s: &str) -> Vec<&str> {
         } else {
             match c {
                 '"' => in_string = true,
-                '{' => depth += 1,
-                '}' => depth = depth.saturating_sub(1),
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth = depth.saturating_sub(1),
                 ',' if depth == 0 => {
                     out.push(&s[start..i]);
                     start = i + 1;
@@ -202,8 +205,9 @@ fn split_top_level(s: &str) -> Vec<&str> {
 }
 
 /// Decodes one quoted JSON string (the subset [`ConfusionMatrix::to_json`]
-/// emits: `\"`, `\\`, `\n`, `\r`, `\t`, `\u00XX`).
-fn unescape_json_string(quoted: &str) -> Result<String, String> {
+/// emits: `\"`, `\\`, `\n`, `\r`, `\t`, `\u00XX`). Shared with the
+/// checkpoint codec in [`crate::stage`].
+pub(crate) fn unescape_json_string(quoted: &str) -> Result<String, String> {
     let inner = quoted
         .strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))

@@ -9,8 +9,9 @@
 //! while passing unrelated tags through to the host application.
 
 use crate::error::RfipadError;
-use crate::pipeline::{OnlinePipeline, PipelineEvent};
+use crate::pipeline::PipelineEvent;
 use crate::recognizer::Recognizer;
+use crate::stage::StageGraph;
 use rfid_gen2::report::{TagId, TagReport};
 use std::collections::HashMap;
 
@@ -33,15 +34,17 @@ pub enum PadEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PadHandle(pub usize);
 
-/// Routes a mixed tag-report stream to per-pad online pipelines.
+/// Routes a mixed tag-report stream to per-pad stage graphs.
 ///
 /// Routing is by tag id: each pad owns the tags of its layout. Reads from
 /// tags owned by no pad surface as [`PadEvent::Unassigned`] so the host
 /// application keeps its ordinary RFID functionality — the whole point of
-/// the paper's "cost-efficient extension" framing.
+/// the paper's "cost-efficient extension" framing. Each pad drives a
+/// [`StageGraph`] directly, so recognitions are identical to running that
+/// pad's share of the stream through its own [`crate::OnlinePipeline`].
 #[derive(Debug)]
 pub struct PadDispatcher {
-    pads: Vec<OnlinePipeline>,
+    pads: Vec<StageGraph>,
     routing: HashMap<TagId, PadHandle>,
 }
 
@@ -78,7 +81,7 @@ impl PadDispatcher {
             self.routing.insert(id, handle);
         }
         self.pads.push(
-            OnlinePipeline::builder()
+            StageGraph::builder()
                 .recognizer(recognizer)
                 .letter_gap_s(letter_gap_s)
                 .build()?,

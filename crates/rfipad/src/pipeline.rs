@@ -7,16 +7,20 @@
 //! between a motion ending and its report — is tracked per event, matching
 //! the paper's Fig. 24 evaluation.
 //!
+//! [`OnlinePipeline`] is a thin facade over [`crate::stage::StageGraph`],
+//! the typed five-stage cascade (framing → segmentation → motion → letter
+//! → grammar); every push and flush delegates to the graph. Callers that
+//! want per-stage access, custom composition, or checkpoint/restore for
+//! session migration can drive the graph directly.
+//!
 //! [`spawn`] runs the engine on its own thread over crossbeam channels, the
 //! deployment shape of a real kiosk.
 
 use crate::error::RfipadError;
 use crate::recognizer::{RecognizedStroke, Recognizer};
-use crate::streams::TagStreamsBuilder;
+use crate::stage::{PipelineCheckpoint, StageGraph};
 use rfid_gen2::report::TagReport;
 use serde::{Deserialize, Serialize};
-use sigproc::frames::{FrameBuilder, FrameSeq};
-use std::time::Instant;
 
 /// An event emitted by the online pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,12 +47,6 @@ pub enum PipelineEvent {
         response_time_s: f64,
     },
 }
-
-/// Upper bound on how much history the engine keeps (seconds). A kiosk
-/// runs for days; without a bound, a long quiet spell would grow the
-/// buffer without limit. The bound comfortably exceeds any letter's
-/// duration plus the letter gap.
-const MAX_BUFFER_S: f64 = 30.0;
 
 /// What [`OnlinePipeline::push`] does with a report whose timestamp is
 /// older than one already consumed. A single reader stream is in time
@@ -114,103 +112,25 @@ impl OnlinePipelineBuilder {
     /// Returns [`RfipadError::InvalidConfig`] if no recognizer was given or
     /// `letter_gap_s` is not positive and finite.
     pub fn build(self) -> Result<OnlinePipeline, RfipadError> {
-        let recognizer = self.recognizer.ok_or_else(|| {
-            RfipadError::InvalidConfig("OnlinePipeline::builder() needs a recognizer".into())
-        })?;
-        let letter_gap_s = self.letter_gap_s.unwrap_or(1.5);
-        if !(letter_gap_s > 0.0 && letter_gap_s.is_finite()) {
-            return Err(RfipadError::InvalidConfig(
-                "letter_gap_s must be positive and finite".into(),
-            ));
+        let mut builder = StageGraph::builder().out_of_order(self.out_of_order);
+        if let Some(recognizer) = self.recognizer {
+            builder = builder.recognizer(recognizer);
         }
-        let end_guard_s =
-            recognizer.config().frame_len_s * recognizer.config().window_frames as f64;
-        let noise_floors = recognizer.noise_floors();
+        if let Some(letter_gap_s) = self.letter_gap_s {
+            builder = builder.letter_gap_s(letter_gap_s);
+        }
         Ok(OnlinePipeline {
-            recognizer,
-            buffer: Vec::new(),
-            cache: None,
-            noise_floors,
-            reported_spans: Vec::new(),
-            pending_strokes: Vec::new(),
-            last_processed: f64::NEG_INFINITY,
-            end_guard_s,
-            letter_gap_s,
-            out_of_order: self.out_of_order,
-            last_time: f64::NEG_INFINITY,
-            out_of_order_count: 0,
-            finished: false,
+            graph: builder.build()?,
         })
     }
 }
 
-/// Incrementally maintained view of the buffered reports: calibrated
-/// per-tag streams plus the per-frame RMS accumulators over them. Kept in
-/// step with `OnlinePipeline::buffer` on every push and *dropped* whenever
-/// the buffer is trimmed — a rebuild from a shorter history legitimately
-/// re-picks unwrap state and the Eq. 8 re-centring offsets at the new first
-/// sample, so patching the cache in place would diverge from a
-/// from-scratch build.
-#[derive(Debug, Default)]
-struct StreamCache {
-    streams: TagStreamsBuilder,
-    /// Created at the first in-layout report; that report's time anchors
-    /// frame 0, matching the batch build's `streams.start()`.
-    frames: Option<FrameBuilder>,
-}
-
-/// Appends one (already clamped) report to the cache, mirroring what a
-/// batch rebuild over the buffer would accumulate for it.
-fn cache_append(
-    cache: &mut StreamCache,
-    recognizer: &Recognizer,
-    noise_floors: &[f64],
-    obs: &TagReport,
-) {
-    let layout = recognizer.layout();
-    if let Some((tag, t, v)) = cache
-        .streams
-        .push(layout, Some(recognizer.calibration()), obs)
-    {
-        let frames = cache.frames.get_or_insert_with(|| {
-            FrameBuilder::new(
-                layout.len(),
-                Some(noise_floors.to_vec()),
-                t,
-                recognizer.config().frame_len_s,
-            )
-        });
-        let idx = layout.stream_index(tag).expect("accepted tag in layout");
-        frames.push(idx, t, v);
-    }
-}
-
-/// Streaming recognition engine.
+/// Streaming recognition engine: a facade over the typed
+/// [`StageGraph`]. All state lives in the graph's stages; this type only
+/// preserves the original push/finish API shape.
 #[derive(Debug)]
 pub struct OnlinePipeline {
-    recognizer: Recognizer,
-    buffer: Vec<TagReport>,
-    /// Incremental streams + frames over `buffer`; `None` after a trim
-    /// until the next [`process_into`](Self::process_into) rebuilds it.
-    cache: Option<StreamCache>,
-    /// Per-stream noise floors in layout order (static per calibration).
-    noise_floors: Vec<f64>,
-    /// Spans already reported (by their start time), kept sorted.
-    reported_spans: Vec<f64>,
-    pending_strokes: Vec<RecognizedStroke>,
-    last_processed: f64,
-    /// Simulated seconds of silence that confirm a stroke has ended.
-    end_guard_s: f64,
-    /// Simulated seconds of silence that close a letter.
-    letter_gap_s: f64,
-    /// What to do with reports whose timestamps run backwards.
-    out_of_order: OutOfOrderPolicy,
-    /// Newest report timestamp consumed so far.
-    last_time: f64,
-    /// Reports that arrived with a timestamp older than `last_time`.
-    out_of_order_count: u64,
-    /// Whether [`OnlinePipeline::finish`] already flushed the stream.
-    finished: bool,
+    graph: StageGraph,
 }
 
 impl OnlinePipeline {
@@ -219,36 +139,37 @@ impl OnlinePipeline {
         OnlinePipelineBuilder::default()
     }
 
-    /// Creates an engine. `letter_gap_s` is the idle time that closes a
-    /// letter (1.5 s is comfortable for the default writer profiles).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RfipadError::InvalidConfig`] if `letter_gap_s` is not
-    /// positive.
-    #[deprecated(note = "use OnlinePipeline::builder() instead")]
-    pub fn new(recognizer: Recognizer, letter_gap_s: f64) -> Result<Self, RfipadError> {
-        Self::builder()
-            .recognizer(recognizer)
-            .letter_gap_s(letter_gap_s)
-            .build()
-    }
-
     /// The wrapped recognizer.
     pub fn recognizer(&self) -> &Recognizer {
-        &self.recognizer
+        self.graph.recognizer()
     }
 
     /// The idle gap (simulated seconds) that closes a letter.
     pub fn letter_gap_s(&self) -> f64 {
-        self.letter_gap_s
+        self.graph.letter_gap_s()
     }
 
     /// How many reports arrived with a timestamp older than an already
     /// consumed one (and were clamped or dropped per the configured
     /// [`OutOfOrderPolicy`]).
     pub fn out_of_order_count(&self) -> u64 {
-        self.out_of_order_count
+        self.graph.out_of_order_count()
+    }
+
+    /// The underlying stage graph.
+    pub fn graph(&self) -> &StageGraph {
+        &self.graph
+    }
+
+    /// The underlying stage graph, mutable.
+    pub fn graph_mut(&mut self) -> &mut StageGraph {
+        &mut self.graph
+    }
+
+    /// Unwraps the facade, returning the stage graph (how the ingest
+    /// engine adopts a pipeline built by a caller).
+    pub fn into_graph(self) -> StageGraph {
+        self.graph
     }
 
     /// Feeds one tag report; returns any events it triggered.
@@ -259,71 +180,14 @@ impl OnlinePipeline {
     /// counted in [`OnlinePipeline::out_of_order_count`]. Feeding after
     /// [`OnlinePipeline::finish`] resumes the stream.
     pub fn push(&mut self, obs: TagReport) -> Vec<PipelineEvent> {
-        let mut events = Vec::new();
-        self.push_into(obs, &mut events);
-        events
+        self.graph.push(obs)
     }
 
     /// Like [`push`](Self::push), but appends any triggered events to
     /// `events` instead of allocating a fresh vector — the hot-path entry
     /// point for callers that reuse one event buffer across reports.
-    pub fn push_into(&mut self, mut obs: TagReport, events: &mut Vec<PipelineEvent>) {
-        self.finished = false;
-        let metrics = crate::telemetry::stage_metrics();
-        metrics.reports.inc();
-        if obs.time < self.last_time {
-            self.out_of_order_count += 1;
-            // Mirror into the durable registry counters: the per-pipeline
-            // count above dies with the session, these survive eviction.
-            match self.out_of_order {
-                OutOfOrderPolicy::Clamp => {
-                    metrics.out_of_order_clamped.inc();
-                    obs.time = self.last_time;
-                }
-                OutOfOrderPolicy::Drop => {
-                    metrics.out_of_order_dropped.inc();
-                    return;
-                }
-            }
-        }
-        self.last_time = obs.time;
-        let now = obs.time;
-        self.buffer.push(obs);
-        // Keep the incremental cache in step with the buffer. The clamped
-        // timestamp was fixed above, so the cache sees exactly what a
-        // rebuild over the buffer would see. A cache dropped by a trim is
-        // rebuilt lazily at the next process tick.
-        if let Some(cache) = self.cache.as_mut() {
-            cache_append(cache, &self.recognizer, &self.noise_floors, &obs);
-        }
-        // Bound the history: drop everything older than the retention
-        // window, but never cut into a pending (unclosed) letter.
-        let keep_from = self
-            .pending_strokes
-            .first()
-            .map(|s| s.span.start - 1.0)
-            .unwrap_or(f64::INFINITY)
-            .min(now - MAX_BUFFER_S);
-        if self
-            .buffer
-            .first()
-            .map(|o| o.time < keep_from - 5.0)
-            .unwrap_or(false)
-        {
-            self.buffer.retain(|o| o.time >= keep_from);
-            // Spans older than the retained history can never re-segment,
-            // so their dedup entries are dead weight — drop them too.
-            self.reported_spans.retain(|&s| s >= keep_from);
-            // The shortened history re-anchors unwrapping and Eq. 8
-            // offsets; the incremental cache must be rebuilt from it.
-            self.cache = None;
-        }
-        // Re-evaluate once per frame, not per read.
-        if now - self.last_processed < self.recognizer.config().frame_len_s {
-            return;
-        }
-        self.last_processed = now;
-        self.process_into(now, events);
+    pub fn push_into(&mut self, obs: TagReport, events: &mut Vec<PipelineEvent>) {
+        self.graph.push_into(obs, events);
     }
 
     /// Feeds a batch of reports in order, appending any triggered events to
@@ -334,9 +198,7 @@ impl OnlinePipeline {
         reports: impl IntoIterator<Item = TagReport>,
         events: &mut Vec<PipelineEvent>,
     ) {
-        for obs in reports {
-            self.push_into(obs, events);
-        }
+        self.graph.push_batch(reports, events);
     }
 
     /// Flushes the engine at end of input (closes any pending stroke or
@@ -347,189 +209,29 @@ impl OnlinePipeline {
     /// sequences (and engine eviction racing an explicit close) cannot
     /// duplicate reports.
     pub fn finish(&mut self) -> Vec<PipelineEvent> {
-        let mut events = Vec::new();
-        self.finish_into(&mut events);
-        events
+        self.graph.finish()
     }
 
     /// Like [`finish`](Self::finish), but appends any events to `events`.
     pub fn finish_into(&mut self, events: &mut Vec<PipelineEvent>) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        let now = self
-            .buffer
-            .last()
-            .map(|o| o.time + self.letter_gap_s + self.end_guard_s)
-            .unwrap_or(0.0);
-        self.process_into(now, events);
+        self.graph.finish_into(events);
     }
 
-    /// Rebuilds the incremental cache from the buffer if a trim dropped it.
-    fn ensure_cache(&mut self) {
-        if self.cache.is_some() {
-            return;
-        }
-        let mut cache = StreamCache::default();
-        for obs in &self.buffer {
-            cache_append(&mut cache, &self.recognizer, &self.noise_floors, obs);
-        }
-        self.cache = Some(cache);
+    /// Captures the pipeline's full mutable state for session migration
+    /// (see [`StageGraph::checkpoint`]).
+    pub fn checkpoint(&self) -> PipelineCheckpoint {
+        self.graph.checkpoint()
     }
 
-    /// Whether a span starting at `start` was already reported, within the
-    /// ±0.25 s dedup tolerance. `reported_spans` is sorted, so this is a
-    /// binary search plus a scan bounded by the tolerance window.
-    fn span_already_reported(&self, start: f64) -> bool {
-        let lo = self.reported_spans.partition_point(|&s| s < start - 0.25);
-        self.reported_spans[lo..]
-            .iter()
-            .take_while(|&&s| s < start + 0.25)
-            .any(|&s| (s - start).abs() < 0.25)
-    }
-
-    /// Records a reported span start, keeping `reported_spans` sorted.
-    fn mark_reported(&mut self, start: f64) {
-        let at = self.reported_spans.partition_point(|&s| s < start);
-        self.reported_spans.insert(at, start);
-    }
-
-    fn process_into(&mut self, now: f64, events: &mut Vec<PipelineEvent>) {
-        let metrics = crate::telemetry::stage_metrics();
-        let compute_start = Instant::now();
-        // The cache already tracks every buffered report (rebuilt here only
-        // after a trim), so the steady-state tick is O(new samples) — cut
-        // the frame sequence from the running accumulators instead of
-        // rebuilding streams and re-slicing the whole window.
-        {
-            let _span = obs::span!(metrics.framing);
-            self.ensure_cache();
-        }
-        let mut cache = self.cache.take().expect("ensured above");
-        let segmentation = {
-            let _span = obs::span!(metrics.segmentation);
-            let frame_seq = match (&mut cache.frames, cache.streams.streams().end()) {
-                (Some(frames), Some(end)) => frames.build(end),
-                _ => FrameSeq::default(),
-            };
-            self.recognizer.segment_frames(&frame_seq)
-        };
-        let streams = cache.streams.streams();
-        let mut cache_invalidated = false;
-
-        // Report every span that ended long enough ago and is new.
-        for &span in &segmentation.spans {
-            let confirmed = now - span.end >= self.end_guard_s;
-            if confirmed && !self.span_already_reported(span.start) {
-                let stroke_t0 = Instant::now();
-                let recognized = {
-                    let _span = obs::span!(metrics.motion);
-                    self.recognizer.recognize_span(streams, span)
-                };
-                if let Some(stroke) = recognized {
-                    self.mark_reported(span.start);
-                    self.pending_strokes.push(stroke.clone());
-                    metrics.strokes.inc();
-                    events.push(PipelineEvent::StrokeDetected {
-                        stroke,
-                        response_time_s: stroke_t0.elapsed().as_secs_f64()
-                            + compute_start.elapsed().as_secs_f64(),
-                        decision_delay_s: self.end_guard_s,
-                    });
-                } else {
-                    // Unclassifiable span: remember it so we do not retry
-                    // forever.
-                    metrics.rejected_spans.inc();
-                    obs::debug!(
-                        "rejected unclassifiable span";
-                        start = format!("{:.2}", span.start),
-                        end = format!("{:.2}", span.end)
-                    );
-                    self.mark_reported(span.start);
-                }
-            }
-        }
-
-        // Close the letter after a long idle gap. The gap is measured from
-        // the latest *activity* — a stroke in progress (active frames not
-        // yet confirmed as a span) holds the letter open.
-        let last_activity = segmentation
-            .frames
-            .iter()
-            .rev()
-            .find(|f| f.active)
-            .map(|f| f.time + self.recognizer.config().frame_len_s)
-            .unwrap_or(f64::NEG_INFINITY);
-        if let Some(last) = self.pending_strokes.last() {
-            let idle_anchor = last.span.end.max(last_activity);
-            if now - idle_anchor >= self.letter_gap_s {
-                let t0 = Instant::now();
-                let observed: Vec<_> = self
-                    .pending_strokes
-                    .iter()
-                    .map(|s| s.to_observed(self.recognizer.layout()))
-                    .collect();
-                let letter = {
-                    let _span = obs::span!(metrics.grammar);
-                    self.recognizer.grammar().deduce_fuzzy(&observed)
-                };
-                metrics.letters.inc();
-                let strokes = std::mem::take(&mut self.pending_strokes);
-                let letter_end = strokes.last().map(|s| s.span.end).unwrap_or(now);
-                events.push(PipelineEvent::LetterRecognized {
-                    letter,
-                    strokes,
-                    response_time_s: t0.elapsed().as_secs_f64(),
-                });
-                // Trim the buffer: keep only observations after the letter
-                // (plus a margin for the next calibration-free suppression).
-                self.buffer.retain(|o| o.time > letter_end);
-                self.reported_spans.clear();
-                // The trim re-anchors stream centring for the next letter;
-                // drop the cache so it is rebuilt from the kept reports.
-                cache_invalidated = true;
-            }
-        }
-        if !cache_invalidated {
-            self.cache = Some(cache);
-        }
-    }
-}
-
-#[cfg(test)]
-impl OnlinePipeline {
-    /// Test oracle: the incrementally maintained cache must equal a
-    /// from-scratch rebuild over the current buffer — streams *and* frames,
-    /// bit for bit. Rebuilds the cache first if a trim dropped it.
-    fn assert_cache_matches_rebuild(&mut self) {
-        self.ensure_cache();
-        let cache = self.cache.as_ref().expect("just ensured");
-        let fresh = self.recognizer.streams(&self.buffer);
-        assert_eq!(
-            cache.streams.streams(),
-            &fresh,
-            "cached streams diverged from a rebuild over the buffer"
-        );
-        if let Some(frames) = cache.frames.as_ref() {
-            let start = fresh.start().expect("cache has samples");
-            let end = fresh.end().expect("cache has samples");
-            assert_eq!(frames.start(), start, "frame anchor diverged");
-            let batch = FrameSeq::build_with_floors(
-                &fresh.phase_series(self.recognizer.layout()),
-                Some(&self.noise_floors),
-                start,
-                end,
-                self.recognizer.config().frame_len_s,
-            );
-            assert_eq!(
-                frames.clone().build(end),
-                batch,
-                "cached frames diverged from a batch build"
-            );
-        } else {
-            assert_eq!(fresh.start(), None, "frames missing despite samples");
-        }
+    /// Restores a [`checkpoint`](Self::checkpoint) into this pipeline,
+    /// replacing its state (see [`StageGraph::restore_checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RfipadError::Checkpoint`] if the checkpoint is from a
+    /// different configuration or fails its integrity checks.
+    pub fn restore(&mut self, checkpoint: &PipelineCheckpoint) -> Result<(), RfipadError> {
+        self.graph.restore_checkpoint(checkpoint)
     }
 }
 
@@ -718,7 +420,7 @@ mod tests {
     #[test]
     fn rejects_nonpositive_letter_gap() {
         let p = pipeline();
-        let rec = p.recognizer;
+        let rec = p.recognizer().clone();
         assert!(OnlinePipeline::builder()
             .recognizer(rec)
             .letter_gap_s(0.0)
@@ -731,18 +433,10 @@ mod tests {
         assert!(OnlinePipeline::builder().build().is_err());
         let p = pipeline();
         let built = OnlinePipeline::builder()
-            .recognizer(p.recognizer)
+            .recognizer(p.recognizer().clone())
             .build()
             .expect("defaults valid");
         assert_eq!(built.letter_gap_s(), 1.5);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_constructs() {
-        let p = pipeline();
-        let built = OnlinePipeline::new(p.recognizer, 2.0).expect("shim works");
-        assert_eq!(built.letter_gap_s(), 2.0);
     }
 
     #[test]
@@ -840,6 +534,106 @@ mod tests {
     }
 
     #[test]
+    fn facade_and_raw_graph_agree() {
+        // The facade must be a pure delegation layer: driving the graph
+        // directly produces identical recognized content.
+        let mut facade = pipeline();
+        let mut facade_events = Vec::new();
+        for o in recording() {
+            facade.push_into(o, &mut facade_events);
+        }
+        facade.finish_into(&mut facade_events);
+
+        let mut graph = pipeline().into_graph();
+        let mut graph_events = Vec::new();
+        for o in recording() {
+            graph.push_into(o, &mut graph_events);
+        }
+        graph.finish_into(&mut graph_events);
+
+        assert_eq!(facade_events.len(), graph_events.len());
+        for (a, b) in facade_events.iter().zip(&graph_events) {
+            match (a, b) {
+                (
+                    PipelineEvent::StrokeDetected { stroke: sa, .. },
+                    PipelineEvent::StrokeDetected { stroke: sb, .. },
+                ) => assert_eq!(sa, sb),
+                (
+                    PipelineEvent::LetterRecognized {
+                        letter: la,
+                        strokes: sa,
+                        ..
+                    },
+                    PipelineEvent::LetterRecognized {
+                        letter: lb,
+                        strokes: sb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(la, lb);
+                    assert_eq!(sa, sb);
+                }
+                other => panic!("event kinds diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_recording_matches_uninterrupted() {
+        let all = recording();
+        for split in [recording().len() / 3, recording().len() / 2] {
+            // Uninterrupted run.
+            let mut whole = pipeline();
+            let mut whole_events = Vec::new();
+            for o in &all {
+                whole.push_into(*o, &mut whole_events);
+            }
+            whole.finish_into(&mut whole_events);
+
+            // Interrupted run: checkpoint mid-stroke, restore into a
+            // freshly built pipeline, continue.
+            let mut prefix = pipeline();
+            let mut split_events = Vec::new();
+            for o in &all[..split] {
+                prefix.push_into(*o, &mut split_events);
+            }
+            let checkpoint = prefix.checkpoint();
+            let mut resumed = pipeline();
+            resumed.restore(&checkpoint).expect("checkpoint restores");
+            for o in &all[split..] {
+                resumed.push_into(*o, &mut split_events);
+            }
+            resumed.finish_into(&mut split_events);
+
+            assert_eq!(whole_events.len(), split_events.len(), "split {split}");
+            for (a, b) in whole_events.iter().zip(&split_events) {
+                match (a, b) {
+                    (
+                        PipelineEvent::StrokeDetected { stroke: sa, .. },
+                        PipelineEvent::StrokeDetected { stroke: sb, .. },
+                    ) => assert_eq!(sa, sb),
+                    (
+                        PipelineEvent::LetterRecognized {
+                            letter: la,
+                            strokes: sa,
+                            ..
+                        },
+                        PipelineEvent::LetterRecognized {
+                            letter: lb,
+                            strokes: sb,
+                            ..
+                        },
+                    ) => {
+                        assert_eq!(la, lb);
+                        assert_eq!(sa, sb);
+                    }
+                    other => panic!("event kinds diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cache_invalidated_by_letter_close_then_resumes() {
         let mut p = pipeline();
         let mut letter_seen = false;
@@ -851,15 +645,21 @@ mod tests {
             {
                 // The letter close trims the buffer and must drop the
                 // cache with it, in the same tick.
-                assert!(p.cache.is_none(), "letter-close trim left a stale cache");
+                assert!(
+                    !p.graph.cache_is_some(),
+                    "letter-close trim left a stale cache"
+                );
                 letter_seen = true;
             }
         }
         assert!(letter_seen, "recording closes a letter mid-feed");
         // Later ticks rebuild the cache from the trimmed buffer and then
         // maintain it incrementally; it must match a rebuild exactly.
-        assert!(p.cache.is_some(), "cache not rebuilt after the letter");
-        p.assert_cache_matches_rebuild();
+        assert!(
+            p.graph.cache_is_some(),
+            "cache not rebuilt after the letter"
+        );
+        p.graph.assert_cache_matches_rebuild();
         // finish-then-resume: the flush and the resumed traffic keep the
         // cache in step with the buffer.
         p.finish();
@@ -867,14 +667,14 @@ mod tests {
             o.time += 8.0;
             p.push(o);
         }
-        p.assert_cache_matches_rebuild();
+        p.graph.assert_cache_matches_rebuild();
     }
 
     #[test]
     fn cache_consistent_under_out_of_order_clamp() {
         let p = pipeline();
         let mut clamping = OnlinePipeline::builder()
-            .recognizer(p.recognizer)
+            .recognizer(p.recognizer().clone())
             .letter_gap_s(1.5)
             .out_of_order(OutOfOrderPolicy::Clamp)
             .build()
@@ -886,14 +686,14 @@ mod tests {
             clamping.push(o);
         }
         assert!(clamping.out_of_order_count() > 0, "stale reports seen");
-        clamping.assert_cache_matches_rebuild();
+        clamping.graph.assert_cache_matches_rebuild();
     }
 
     #[test]
     fn cache_consistent_under_out_of_order_drop() {
         let p = pipeline();
         let mut dropping = OnlinePipeline::builder()
-            .recognizer(p.recognizer)
+            .recognizer(p.recognizer().clone())
             .letter_gap_s(1.5)
             .out_of_order(OutOfOrderPolicy::Drop)
             .build()
@@ -905,14 +705,14 @@ mod tests {
             dropping.push(o);
         }
         assert!(dropping.out_of_order_count() > 0, "stale reports seen");
-        dropping.assert_cache_matches_rebuild();
+        dropping.graph.assert_cache_matches_rebuild();
     }
 
     #[test]
     fn out_of_order_clamped_and_counted() {
         let p = pipeline();
         let mut clamping = OnlinePipeline::builder()
-            .recognizer(p.recognizer)
+            .recognizer(p.recognizer().clone())
             .letter_gap_s(1.5)
             .out_of_order(OutOfOrderPolicy::Clamp)
             .build()
@@ -928,7 +728,11 @@ mod tests {
         events.extend(clamping.finish());
         assert!(clamping.out_of_order_count() > 0, "stale reports seen");
         // Clamped timestamps never run backwards inside the buffer.
-        assert!(clamping.buffer.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(clamping
+            .graph
+            .buffer()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
         // The sweep still resolves to the same letter.
         assert!(events.iter().any(|e| matches!(
             e,
@@ -943,7 +747,7 @@ mod tests {
     fn out_of_order_drop_discards_stale_reports() {
         let p = pipeline();
         let mut dropping = OnlinePipeline::builder()
-            .recognizer(p.recognizer)
+            .recognizer(p.recognizer().clone())
             .letter_gap_s(1.5)
             .out_of_order(OutOfOrderPolicy::Drop)
             .build()
@@ -958,11 +762,15 @@ mod tests {
         }
         assert!(dropping.out_of_order_count() > 0);
         assert!(
-            (dropping.buffer.len() as u64) <= n as u64 - dropping.out_of_order_count()
-                || dropping.buffer.len() < n,
+            (dropping.graph.buffer().len() as u64) <= n as u64 - dropping.out_of_order_count()
+                || dropping.graph.buffer().len() < n,
             "dropped reports must not enter the buffer"
         );
-        assert!(dropping.buffer.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(dropping
+            .graph
+            .buffer()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
     }
 
     #[test]
@@ -992,6 +800,7 @@ mod buffer_tests {
     use crate::calibration::Calibration;
     use crate::config::RfipadConfig;
     use crate::layout::ArrayLayout;
+    use crate::stage::MAX_BUFFER_S;
     use rfid_gen2::report::TagId;
 
     fn quiet_obs(tag: u64, time: f64) -> TagReport {
@@ -1049,14 +858,14 @@ mod buffer_tests {
         for step in 0..7_200u64 {
             let t = step as f64 / 60.0;
             pipeline.push(quiet_obs(step % 3, t));
-            max_len = max_len.max(pipeline.buffer.len());
+            max_len = max_len.max(pipeline.graph().buffer().len());
         }
         // 30 s of history at 60 reads/s is 1800 reads; allow slack for the
         // trim hysteresis.
         assert!(
-            pipeline.buffer.len() < 2_400,
+            pipeline.graph().buffer().len() < 2_400,
             "buffer grew to {}",
-            pipeline.buffer.len()
+            pipeline.graph().buffer().len()
         );
         assert!(max_len < 2_800, "peak buffer {}", max_len);
     }
@@ -1070,7 +879,12 @@ mod buffer_tests {
             last_t = step as f64 / 60.0;
             pipeline.push(quiet_obs(step % 3, last_t));
         }
-        let first = pipeline.buffer.first().expect("buffer non-empty").time;
+        let first = pipeline
+            .graph()
+            .buffer()
+            .first()
+            .expect("buffer non-empty")
+            .time;
         assert!(first > 2.0, "old history survived: first read at {first}");
         // Nothing older than the window plus the trim hysteresis remains.
         assert!(
@@ -1084,21 +898,29 @@ mod buffer_tests {
         // A letter gap far longer than the run keeps the stroke pending
         // throughout; its history must survive even past MAX_BUFFER_S.
         let mut pipeline = quiet_pipeline(1_000.0);
-        pipeline.pending_strokes.push(fake_stroke(2.0, 3.0));
+        pipeline
+            .graph_mut()
+            .pending_strokes_mut()
+            .push(fake_stroke(2.0, 3.0));
         let mut last_t = 0.0;
         for step in 0..2_400u64 {
             last_t = step as f64 / 60.0;
             pipeline.push(quiet_obs(step % 3, last_t));
         }
         assert!(last_t > MAX_BUFFER_S + 5.0, "run long enough to trim");
-        let first = pipeline.buffer.first().expect("buffer non-empty").time;
+        let first = pipeline
+            .graph()
+            .buffer()
+            .first()
+            .expect("buffer non-empty")
+            .time;
         // Retention is anchored 1 s before the pending stroke, not at the
         // rolling window edge.
         assert!(
             first <= 2.0,
             "pending letter history trimmed: first {first}"
         );
-        assert!(!pipeline.pending_strokes.is_empty());
+        assert!(!pipeline.graph_mut().pending_strokes_mut().is_empty());
     }
 
     #[test]
@@ -1107,19 +929,19 @@ mod buffer_tests {
         let mut trims = 0usize;
         for step in 0..3_600u64 {
             let t = step as f64 / 60.0;
-            let before = pipeline.buffer.len();
+            let before = pipeline.graph().buffer().len();
             pipeline.push(quiet_obs(step % 3, t));
-            if pipeline.buffer.len() <= before {
+            if pipeline.graph().buffer().len() <= before {
                 trims += 1;
             }
             // Spot-check: the incrementally maintained cache never drifts
             // from a rebuild over the (possibly trimmed) buffer.
             if step % 600 == 599 {
-                pipeline.assert_cache_matches_rebuild();
+                pipeline.graph_mut().assert_cache_matches_rebuild();
             }
         }
         assert!(trims > 0, "run long enough to trim history");
-        pipeline.assert_cache_matches_rebuild();
+        pipeline.graph_mut().assert_cache_matches_rebuild();
     }
 
     #[test]
@@ -1127,15 +949,15 @@ mod buffer_tests {
         let mut pipeline = quiet_pipeline(1.5);
         // Out-of-sorted-order marks must land sorted (the dedup relies on
         // partition_point).
-        pipeline.mark_reported(2.5);
-        pipeline.mark_reported(1.0);
-        pipeline.mark_reported(4.0);
-        pipeline.mark_reported(1.7);
-        assert_eq!(pipeline.reported_spans, vec![1.0, 1.7, 2.5, 4.0]);
-        assert!(pipeline.span_already_reported(1.2));
-        assert!(pipeline.span_already_reported(2.6));
-        assert!(!pipeline.span_already_reported(3.2));
-        assert!(!pipeline.span_already_reported(0.5));
+        pipeline.graph_mut().mark_reported(2.5);
+        pipeline.graph_mut().mark_reported(1.0);
+        pipeline.graph_mut().mark_reported(4.0);
+        pipeline.graph_mut().mark_reported(1.7);
+        assert_eq!(pipeline.graph().reported_spans(), vec![1.0, 1.7, 2.5, 4.0]);
+        assert!(pipeline.graph().span_already_reported(1.2));
+        assert!(pipeline.graph().span_already_reported(2.6));
+        assert!(!pipeline.graph().span_already_reported(3.2));
+        assert!(!pipeline.graph().span_already_reported(0.5));
     }
 
     #[test]
@@ -1143,8 +965,8 @@ mod buffer_tests {
         let mut pipeline = quiet_pipeline(1.5);
         // Simulate spans reported early in a run whose letter never closed
         // (e.g. unclassifiable blips): their dedup entries must not leak.
-        pipeline.reported_spans.push(1.0);
-        pipeline.reported_spans.push(2.5);
+        pipeline.graph_mut().reported_spans_mut().push(1.0);
+        pipeline.graph_mut().reported_spans_mut().push(2.5);
         let mut last_t = 0.0;
         for step in 0..3_600u64 {
             last_t = step as f64 / 60.0;
@@ -1152,11 +974,12 @@ mod buffer_tests {
         }
         assert!(
             pipeline
-                .reported_spans
+                .graph()
+                .reported_spans()
                 .iter()
                 .all(|&s| s >= last_t - MAX_BUFFER_S - 5.0),
             "stale reported spans retained: {:?}",
-            pipeline.reported_spans
+            pipeline.graph().reported_spans()
         );
     }
 }

@@ -136,26 +136,6 @@ impl Recognizer {
         RecognizerBuilder::default()
     }
 
-    /// Assembles a recognizer from a layout, its static calibration, and a
-    /// configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RfipadError::InvalidConfig`] if the configuration fails
-    /// validation.
-    #[deprecated(note = "use Recognizer::builder() instead")]
-    pub fn new(
-        layout: ArrayLayout,
-        calibration: Calibration,
-        config: RfipadConfig,
-    ) -> Result<Self, RfipadError> {
-        Self::builder()
-            .layout(layout)
-            .calibration(calibration)
-            .config(config)
-            .build()
-    }
-
     /// The layout in use.
     pub fn layout(&self) -> &ArrayLayout {
         &self.layout
@@ -524,18 +504,6 @@ mod tests {
             .build()
             .expect("default config valid");
         assert_eq!(built.config(), &RfipadConfig::default());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_constructs() {
-        let rec = recognizer();
-        assert!(Recognizer::new(
-            rec.layout().clone(),
-            rec.calibration().clone(),
-            RfipadConfig::default()
-        )
-        .is_ok());
     }
 
     #[test]

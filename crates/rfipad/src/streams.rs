@@ -14,6 +14,7 @@ use sigproc::series::TimeSeries;
 use sigproc::unwrap::StreamingUnwrapper;
 use std::collections::HashMap;
 use std::f64::consts::TAU;
+use std::sync::Arc;
 
 /// Per-tag phase and RSS time series over one recording.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -96,11 +97,16 @@ impl TagStreams {
 /// the offsets are chosen at each tag's *first* sample — rebuilding from a
 /// trimmed buffer may legitimately pick different offsets, which is why the
 /// pipeline invalidates (rather than patches) its cache on trims.
+/// The accumulated streams live behind an [`Arc`] so downstream consumers
+/// (the stage graph's tick payloads) can hold a cheap reference to the
+/// snapshot at a tick without cloning the series. Pushes mutate in place
+/// via [`Arc::make_mut`] — O(1) while no snapshot is outstanding, a deep
+/// copy-on-write only if one is still held across a push.
 #[derive(Debug, Clone, Default)]
 pub struct TagStreamsBuilder {
     unwrappers: HashMap<TagId, StreamingUnwrapper>,
     offsets: HashMap<TagId, f64>,
-    streams: TagStreams,
+    streams: Arc<TagStreams>,
 }
 
 impl TagStreamsBuilder {
@@ -141,7 +147,7 @@ impl TagStreamsBuilder {
             }
             None => unwrapped,
         };
-        let out = &mut self.streams;
+        let out = Arc::make_mut(&mut self.streams);
         out.phase.entry(obs.tag).or_default().push(obs.time, value);
         out.rss
             .entry(obs.tag)
@@ -157,9 +163,16 @@ impl TagStreamsBuilder {
         &self.streams
     }
 
+    /// A shared handle to the streams accumulated so far. Holding it across
+    /// a later [`push`](Self::push) is allowed but forces that push to
+    /// copy-on-write; drop the handle when done with the snapshot.
+    pub fn shared_streams(&self) -> Arc<TagStreams> {
+        Arc::clone(&self.streams)
+    }
+
     /// Consumes the builder, returning the accumulated streams.
     pub fn into_streams(self) -> TagStreams {
-        self.streams
+        Arc::try_unwrap(self.streams).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -316,6 +329,19 @@ mod tests {
         }
         assert_eq!(builder.streams(), &batch);
         assert_eq!(builder.into_streams(), batch);
+    }
+
+    #[test]
+    fn shared_snapshot_survives_later_pushes() {
+        // A snapshot held across a push sees the state at snapshot time;
+        // the builder copies on write and keeps accumulating.
+        let mut builder = TagStreamsBuilder::new();
+        builder.push(&layout(), None, &obs(TagId(0), 0.0, 1.0));
+        let snapshot = builder.shared_streams();
+        builder.push(&layout(), None, &obs(TagId(0), 1.0, 2.0));
+        assert_eq!(snapshot.total_reads(), 1);
+        assert_eq!(builder.streams().total_reads(), 2);
+        assert_eq!(builder.shared_streams().total_reads(), 2);
     }
 
     #[test]

@@ -12,18 +12,25 @@
 use obs::{Counter, Histogram};
 use std::sync::{Arc, OnceLock};
 
-/// Name of the per-stage duration histogram family.
-pub const STAGE_DURATION_METRIC: &str = "rfipad_stage_duration_us";
+/// Name of the per-stage push-duration histogram family. One series per
+/// stage of the [`crate::stage::StageGraph`], labelled `stage=framing |
+/// segmentation | motion | letter | grammar`. Values are recorded in
+/// microseconds against [`obs::metrics::DEFAULT_DURATION_BOUNDS_US`].
+pub const STAGE_PUSH_METRIC: &str = "rfipad_stage_push_seconds";
 
-/// Cached handles for the online pipeline's stage instrumentation.
+/// Cached handles for the stage graph's instrumentation. The graph times
+/// every [`crate::stage::Stage::push`] it drives, so each histogram is the
+/// wall time spent inside that stage across every live graph.
 pub(crate) struct StageMetrics {
-    /// Per-tag stream building (framing input, §III-A).
+    /// Buffering, incremental streams/frames, and tick cuts (§III-A).
     pub framing: Arc<Histogram>,
-    /// Stroke segmentation (Eq. 11–12).
+    /// Stroke segmentation over a frame tick (Eq. 11–12).
     pub segmentation: Arc<Histogram>,
-    /// Motion classification of one confirmed span (§III-C2).
+    /// Motion classification of confirmed spans (§III-C2).
     pub motion: Arc<Histogram>,
-    /// Grammar deduction closing a letter (§III-D).
+    /// Letter assembly: pending strokes and the idle-gap close decision.
+    pub letter: Arc<Histogram>,
+    /// Grammar deduction and event emission (§III-D).
     pub grammar: Arc<Histogram>,
     /// Reports consumed by pipelines.
     pub reports: Arc<Counter>,
@@ -46,8 +53,8 @@ pub(crate) fn stage_metrics() -> &'static StageMetrics {
         let r = obs::registry();
         let stage = |name: &'static str| {
             r.histogram(
-                STAGE_DURATION_METRIC,
-                "Wall time per pipeline stage invocation, microseconds.",
+                STAGE_PUSH_METRIC,
+                "Wall time per stage-graph push, recorded in microseconds.",
                 &[("stage", name)],
                 obs::metrics::DEFAULT_DURATION_BOUNDS_US,
             )
@@ -63,6 +70,7 @@ pub(crate) fn stage_metrics() -> &'static StageMetrics {
             framing: stage("framing"),
             segmentation: stage("segmentation"),
             motion: stage("motion"),
+            letter: stage("letter"),
             grammar: stage("grammar"),
             reports: r.counter(
                 "rfipad_pipeline_reports_total",

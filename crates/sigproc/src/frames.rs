@@ -268,6 +268,26 @@ impl FrameBuilder {
         self.start
     }
 
+    /// The frame length passed to [`new`](Self::new), seconds.
+    pub fn frame_len(&self) -> f64 {
+        self.frame_len
+    }
+
+    /// Newest sample time seen so far ([`f64::NEG_INFINITY`] before the
+    /// first sample). Together with [`start`](Self::start) and
+    /// [`frame_len`](Self::frame_len) this pins down which frames are
+    /// settled — the state a checkpoint needs to verify a rebuilt builder
+    /// against the one it snapshotted.
+    pub fn max_time(&self) -> f64 {
+        self.max_time
+    }
+
+    /// Number of finalized frames (the settled prefix no future monotone
+    /// sample can change).
+    pub fn frames_done(&self) -> usize {
+        self.done.len()
+    }
+
     /// Start time of frame `k`, with the exact rounding the batch build
     /// uses per frame.
     fn frame_start(&self, k: usize) -> f64 {

@@ -60,7 +60,7 @@ echo "== telemetry exposition smoke + overhead -> BENCH_pipeline.json =="
 # the telemetry_overhead entry (instrumented vs RFIPAD_LOG=off replay).
 expo=$(cargo run --release -p experiments --bin trace_tool -- \
   stats tests/data/golden_session.rftrace --bench)
-for family in rfid_reader_reads_total rfipad_stage_duration_us_bucket \
+for family in rfid_reader_reads_total rfipad_stage_push_seconds_bucket \
   rfipad_pipeline_reports_total; do
   grep -q "^$family" <<<"$expo" || {
     echo "bench-check: exposition is missing $family" >&2
@@ -71,6 +71,10 @@ grep -q '"telemetry_overhead"' BENCH_pipeline.json || {
   echo "bench-check: telemetry_overhead entry missing from BENCH_pipeline.json" >&2
   exit 1
 }
+
+echo "== checkpoint/restore smoke (mid-trace migration) =="
+cargo run --release -p experiments --bin trace_tool -- \
+  checkpoint tests/data/golden_session.rftrace
 
 echo "== throughput regression gates =="
 # Fresh values from the file the benches just rewrote.
@@ -99,6 +103,31 @@ gate_rps() { # name fresh baseline
 }
 gate_rps ingest_batch "$(fresh_rps ingest_batch)" "$base_ingest"
 gate_rps incremental_framing "$(fresh_rps incremental_framing)" "$base_framing"
+
+# Stage-graph overhead gate: the graph-composed streaming replay must stay
+# within STAGE_TOLERANCE (3%) of the committed trace_replay throughput
+# (reports / json_ms — the full decode+recognize replay cost).
+stage_tolerance=${STAGE_TOLERANCE:-0.97}
+fresh_stage=$(fresh_rps stage_overhead)
+if [ -z "$fresh_stage" ]; then
+  echo "bench-check: stage_overhead entry missing from BENCH_pipeline.json" >&2
+  exit 1
+fi
+base_trace_reports=$(sed -n 's/^ *"trace_replay": { "reports": \([0-9]*\),.*/\1/p' <<<"$baseline" | head -n 1)
+base_trace_json_ms=$(sed -n 's/^ *"trace_replay":.*"json_ms": \([0-9.]*\),.*/\1/p' <<<"$baseline" | head -n 1)
+if [ -z "$base_trace_reports" ] || [ -z "$base_trace_json_ms" ]; then
+  echo "stage_overhead: ${fresh_stage} reports/s (no committed trace_replay baseline; gate skipped)"
+else
+  stage_floor=$(awk -v r="$base_trace_reports" -v ms="$base_trace_json_ms" \
+    -v t="$stage_tolerance" 'BEGIN { printf "%d", r / ms * 1000 * t }')
+  if [ "$fresh_stage" -lt "$stage_floor" ]; then
+    echo "bench-check: stage-graph replay fell to ${fresh_stage} reports/s" \
+      "(committed trace_replay ${base_trace_reports} reports / ${base_trace_json_ms} ms," \
+      "floor ${stage_floor} at tolerance ${stage_tolerance})" >&2
+    exit 1
+  fi
+  echo "stage_overhead: ${fresh_stage} reports/s (trace_replay floor ${stage_floor}): OK"
+fi
 
 # Parallel-speedup sanity: only meaningful with more than one core.
 cores=$(sed -n 's/^ *"cores": \([0-9]*\),*/\1/p' BENCH_pipeline.json | head -n 1)

@@ -59,8 +59,11 @@ fn live_engine_exposition_covers_every_layer() {
     for needle in [
         "rfid_reader_reads_total",
         "rfid_reader_inventory_rounds_total",
-        "rfipad_stage_duration_us_bucket{stage=\"framing\"",
-        "rfipad_stage_duration_us_bucket{stage=\"segmentation\"",
+        "rfipad_stage_push_seconds_bucket{stage=\"framing\"",
+        "rfipad_stage_push_seconds_bucket{stage=\"segmentation\"",
+        "rfipad_stage_push_seconds_bucket{stage=\"motion\"",
+        "rfipad_stage_push_seconds_bucket{stage=\"letter\"",
+        "rfipad_stage_push_seconds_bucket{stage=\"grammar\"",
         "rfipad_pipeline_reports_total",
         "rfipad_engine_reports_in_total",
         "rfipad_engine_push_latency_us_count",
