@@ -9,9 +9,9 @@
 //! comparison. On success the run merges a `multi_session` entry into
 //! `BENCH_pipeline.json` next to the other perf-trajectory probes.
 //!
-//! The replay runs twice — once feeding one report per
-//! `SessionHandle::feed` (the `multi_session` entry) and once feeding
-//! `--batch`-sized batches per `SessionHandle::feed_batch` (the
+//! The replay runs twice — once ingesting one report per
+//! `SessionHandle::ingest` (the `multi_session` entry) and once ingesting
+//! `--batch`-sized batches per `SessionHandle::ingest_batch` (the
 //! `ingest_batch` entry) — and both modes must reproduce the serial
 //! replay bit for bit.
 //!
@@ -126,9 +126,9 @@ struct ReplayStats {
 
 /// Replays the golden trace through `sessions` concurrent engine sessions
 /// and checks every one against the serial reference. `batch` selects the
-/// feed mode: `None` feeds one report per `feed`, `Some(n)` feeds
-/// `n`-report batches per `feed_batch`. Either way the recognitions must
-/// be bit-identical to the serial replay.
+/// ingest mode: `None` ingests one report per `ingest`, `Some(n)` ingests
+/// `n`-report batches per `ingest_batch`. Either way the recognitions
+/// must be bit-identical to the serial replay.
 fn run_replay(
     bench: &experiments::Bench,
     reports: &Arc<Vec<TagReport>>,
@@ -161,19 +161,28 @@ fn run_replay(
                 let session = engine
                     .open_session(format!("replay-{i}"), pipeline)
                     .map_err(|e| e.to_string())?;
+                let mut receipt = rfipad::IngestReceipt::default();
                 match batch {
                     None => {
                         for r in reports.iter() {
-                            session.feed(*r).map_err(|e| e.to_string())?;
+                            receipt += session.ingest(*r).map_err(|e| e.to_string())?;
                         }
                     }
                     Some(n) => {
                         for chunk in reports.chunks(n) {
-                            session
-                                .feed_batch(chunk.iter().copied().collect())
+                            receipt += session
+                                .ingest_batch(chunk.iter().copied().collect())
                                 .map_err(|e| e.to_string())?;
                         }
                     }
+                }
+                if receipt.accepted != reports.len() as u64 || receipt.dropped != 0 {
+                    return Err(format!(
+                        "session {i}: receipt {} accepted / {} dropped, expected {} / 0",
+                        receipt.accepted,
+                        receipt.dropped,
+                        reports.len()
+                    ));
                 }
                 let stats = session.stats();
                 if stats.queue_depth > capacity {

@@ -1,0 +1,111 @@
+//! Loopback load generator for the TCP ingest server: replays the golden
+//! trace over N concurrent client connections, each multiplexing M
+//! sessions onto an in-process `rfipad::serve` server, and requires every
+//! served session to reproduce the single-stream replay bit for bit —
+//! the wire is a transport, never an interpretation.
+//!
+//! On success the run merges a `serve_loopback` entry into
+//! `BENCH_pipeline.json` next to the other perf-trajectory probes.
+//!
+//! Usage: `cargo run --release -p experiments --bin load_gen [-- \
+//!   --connections N] [--sessions N] [--batch N] [--jobs N] [--capacity N]`
+//!
+//! Defaults: 4 connections × 2 sessions, 64-report batches, one engine
+//! worker per core, 1024-item queues. The golden trace is read from
+//! `tests/data/golden_session.rftrace` when run from the repo root; a
+//! missing trace falls back to re-recording the golden session live
+//! (bit-identical by construction — it is seeded).
+
+use experiments::golden::{golden_bench, GOLDEN_LETTER};
+use experiments::serveload::{golden_reports, replay_over_loopback, serial_replay, LoopbackConfig};
+use rfipad::PipelineEvent;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn parse_args() -> Result<LoopbackConfig, String> {
+    let mut cfg = LoopbackConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--connections" => cfg.connections = grab("--connections")?,
+            "--sessions" => cfg.sessions_per_connection = grab("--sessions")?,
+            "--batch" => cfg.batch = grab("--batch")?,
+            "--jobs" => cfg.jobs = grab("--jobs")?,
+            "--capacity" => cfg.capacity = grab("--capacity")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cfg.connections == 0 || cfg.sessions_per_connection == 0 || cfg.batch == 0 {
+        return Err("--connections, --sessions and --batch must be at least 1".into());
+    }
+    Ok(cfg)
+}
+
+fn run() -> Result<(), String> {
+    let cfg = parse_args()?;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    obs::info!("calibrating golden bench");
+    let bench = golden_bench();
+    let reports = Arc::new(golden_reports(&bench));
+    let expected = serial_replay(&bench.recognizer, &reports);
+    let letters: Vec<_> = expected
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::LetterRecognized { letter, .. } => Some(*letter),
+            _ => None,
+        })
+        .collect();
+    if letters != vec![Some(GOLDEN_LETTER)] {
+        return Err(format!(
+            "serial replay must recognize '{GOLDEN_LETTER}', got {letters:?}"
+        ));
+    }
+
+    obs::info!("replaying over loopback"; connections = cfg.connections,
+        sessions_per_connection = cfg.sessions_per_connection, batch = cfg.batch,
+        reports = reports.len());
+    let run = replay_over_loopback(&bench.recognizer, &reports, &expected, &cfg)?;
+    println!(
+        "{} connections × {} sessions replayed '{GOLDEN_LETTER}' identically over \
+         loopback in {:.3} s ({:.0} reports/s through {} workers)",
+        cfg.connections, cfg.sessions_per_connection, run.wall_s, run.reports_per_s, run.workers,
+    );
+
+    let entry = format!(
+        "{{ \"connections\": {}, \"sessions_per_connection\": {}, \"workers\": {}, \
+         \"cores\": {cores}, \"batch\": {}, \"reports_per_session\": {}, \
+         \"wall_s\": {:.3}, \"reports_per_s\": {:.0}, \"events_per_session\": {}, \
+         \"identical_to_serial\": true }}",
+        cfg.connections,
+        cfg.sessions_per_connection,
+        run.workers,
+        cfg.batch,
+        reports.len(),
+        run.wall_s,
+        run.reports_per_s,
+        run.events_per_session,
+    );
+    experiments::benchjson::merge_entry("serve_loopback", &entry)
+        .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
+    obs::info!("merged serve_loopback entry into BENCH_pipeline.json");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            obs::error!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

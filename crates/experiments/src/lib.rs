@@ -15,6 +15,7 @@ pub mod benchjson;
 pub mod golden;
 pub mod multiplex;
 pub mod report;
+pub mod serveload;
 pub mod setup;
 pub mod trial;
 

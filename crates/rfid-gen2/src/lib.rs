@@ -22,7 +22,9 @@
 //! - [`trace`] — record/replay serialization of report streams (JSON lines
 //!   and length-prefixed binary);
 //! - [`source`] — the [`source::ReportSource`] abstraction over live runs
-//!   and recorded traces.
+//!   and recorded traces;
+//! - [`wire`] — the RFIPad ingest protocol: versioned handshake,
+//!   session-multiplexed report-batch frames, and the client codec.
 //!
 //! # Example
 //!
@@ -69,6 +71,7 @@ pub mod report;
 pub mod source;
 pub(crate) mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use epc::Epc96;
 pub use inventory::{Flag, InventoryStats, QAlgorithm, SearchMode, SlotOutcome};

@@ -213,8 +213,24 @@ impl<R: BufRead> TraceSource<R> {
             match detect_format(first[0])? {
                 TraceFormat::JsonLines => TraceStream::Json { reader, line_no: 0 },
                 TraceFormat::Binary => {
+                    // Byte-wise read: a trace that ends inside the magic is
+                    // a truncated file, a typed decode fault — not a
+                    // generic `UnexpectedEof`.
                     let mut magic = [0u8; 4];
-                    reader.read_exact(&mut magic).map_err(TraceError::from)?;
+                    let mut filled = 0usize;
+                    while filled < magic.len() {
+                        match reader.read(&mut magic[filled..]) {
+                            Ok(0) => {
+                                return Err(TraceError::Malformed(format!(
+                                    "truncated magic ({filled} of 4 bytes)"
+                                ))
+                                .into())
+                            }
+                            Ok(n) => filled += n,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(TraceError::from(e).into()),
+                        }
+                    }
                     if magic != BINARY_MAGIC {
                         return Err(TraceError::Malformed(format!("bad magic {magic:02x?}")).into());
                     }

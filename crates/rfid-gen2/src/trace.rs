@@ -246,7 +246,22 @@ pub fn read_binary_record_into<R: Read>(
     }
     scratch.clear();
     scratch.resize(len, 0);
-    reader.read_exact(scratch)?;
+    // Same byte-wise discipline for the body: EOF after a valid length
+    // prefix is a truncated record, a typed decode fault — not a generic
+    // `UnexpectedEof` I/O error and never a silent end of stream.
+    let mut filled = 0usize;
+    while filled < len {
+        match reader.read(&mut scratch[filled..]) {
+            Ok(0) => {
+                return Err(TraceError::Malformed(format!(
+                    "truncated record body ({filled} of {len} bytes)"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     let mut buf: &[u8] = scratch;
     let mut epc = [0u8; 12];
     buf.copy_to_slice(&mut epc);

@@ -31,7 +31,7 @@
 //! let engine = rfipad::engine::Engine::builder().workers(4).build()?;
 //! let session = engine.open_session("kiosk-a", pipeline)?;
 //! for report in reports {
-//!     session.feed(report)?;
+//!     session.ingest(report)?;
 //! }
 //! let events = session.close()?;
 //! # let _ = events; Ok(())
@@ -57,7 +57,44 @@ use std::time::{Duration, Instant};
 /// sub-batch.
 pub const DEFAULT_INGEST_BATCH: usize = 64;
 
-/// What [`SessionHandle::feed`] does when a session's bounded queue is
+/// What one `ingest` call did, as seen by the caller: how many reports it
+/// put on the session queue and how many *previously queued* reports it
+/// had to evict to make room (only ever non-zero under
+/// [`Backpressure::DropOldest`]). Receipts add, so a serving loop can
+/// accumulate one per session or per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReceipt {
+    /// Reports this call enqueued for recognition.
+    pub accepted: u64,
+    /// Reports this call evicted from the queue to make room. They may
+    /// belong to earlier batches; each is also counted in
+    /// [`SessionStats::reports_dropped`].
+    pub dropped: u64,
+}
+
+impl IngestReceipt {
+    /// Folds another receipt into this one (both tallies add).
+    pub fn absorb(&mut self, other: IngestReceipt) {
+        self.accepted += other.accepted;
+        self.dropped += other.dropped;
+    }
+}
+
+impl std::ops::Add for IngestReceipt {
+    type Output = IngestReceipt;
+    fn add(mut self, other: IngestReceipt) -> IngestReceipt {
+        self.absorb(other);
+        self
+    }
+}
+
+impl std::ops::AddAssign for IngestReceipt {
+    fn add_assign(&mut self, other: IngestReceipt) {
+        self.absorb(other);
+    }
+}
+
+/// What [`SessionHandle::ingest`] does when a session's bounded queue is
 /// full — the engine's explicit backpressure policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
@@ -81,8 +118,8 @@ pub struct EngineConfig {
     /// core.
     pub workers: usize,
     /// Per-session queue capacity, in queued *items*: one
-    /// [`SessionHandle::feed`] report or one [`SessionHandle::feed_batch`]
-    /// batch each occupy a single slot.
+    /// [`SessionHandle::ingest`] report or one
+    /// [`SessionHandle::ingest_batch`] batch each occupy a single slot.
     pub queue_capacity: usize,
     /// What a full queue does to the feeder.
     pub backpressure: Backpressure,
@@ -161,13 +198,17 @@ impl EngineBuilder {
     pub fn build(self) -> Result<Engine, RfipadError> {
         let mut config = self.config;
         if config.queue_capacity == 0 {
-            return Err(RfipadError::InvalidConfig(
-                "engine queue_capacity must be at least 1".into(),
+            return Err(RfipadError::invalid_field(
+                "EngineBuilder",
+                "queue_capacity",
+                "must be at least 1",
             ));
         }
         if config.idle_eviction_factor.is_nan() || config.idle_eviction_factor <= 0.0 {
-            return Err(RfipadError::InvalidConfig(
-                "engine idle_eviction_factor must be positive".into(),
+            return Err(RfipadError::invalid_field(
+                "EngineBuilder",
+                "idle_eviction_factor",
+                format!("must be positive, got {}", config.idle_eviction_factor),
             ));
         }
         if config.workers == 0 {
@@ -181,7 +222,11 @@ impl EngineBuilder {
             let render: obs::serve::RenderFn =
                 Arc::new(move |format| render_metrics(&shared, format));
             let server = obs::serve::serve(&addr, render).map_err(|e| {
-                RfipadError::InvalidConfig(format!("metrics endpoint bind failed on {addr}: {e}"))
+                RfipadError::invalid_field(
+                    "EngineBuilder",
+                    "metrics_addr",
+                    format!("bind failed on {addr}: {e}"),
+                )
             })?;
             obs::info!("metrics endpoint listening"; addr = server.addr());
             engine.metrics = Some(server);
@@ -601,8 +646,8 @@ impl Engine {
     /// # Errors
     ///
     /// Session and engine faults as in [`Engine::open_session`] /
-    /// [`SessionHandle::feed`]; a source that dies mid-stream surfaces as
-    /// [`RfipadError::Source`] (the session is still closed cleanly).
+    /// [`SessionHandle::ingest`]; a source that dies mid-stream surfaces
+    /// as [`RfipadError::Source`] (the session is still closed cleanly).
     pub fn ingest(
         &self,
         id: impl Into<String>,
@@ -610,7 +655,7 @@ impl Engine {
         source: &mut dyn ReportSource,
     ) -> Result<Vec<PipelineEvent>, RfipadError> {
         let session = self.open_session(id, pipeline)?;
-        let fed = session.feed_source_batched(source, DEFAULT_INGEST_BATCH);
+        let fed = session.ingest_source(source);
         let events = session.close()?;
         fed?;
         Ok(events)
@@ -1036,7 +1081,7 @@ impl SessionCheckpoint {
 
 /// A feeder's handle to one open session.
 ///
-/// The handle is the session's producer side: [`SessionHandle::feed`]
+/// The handle is the session's producer side: [`SessionHandle::ingest`]
 /// enqueues reports (applying the engine's backpressure policy),
 /// [`SessionHandle::drain_events`] collects recognitions produced so far,
 /// and [`SessionHandle::close`] flushes and tears down. Dropping the
@@ -1062,36 +1107,39 @@ impl SessionHandle {
         &self.inner.id
     }
 
-    /// Feeds one report. Blocks or drops per the engine's
-    /// [`Backpressure`] policy when the session queue is full.
+    /// Ingests one report. Blocks or drops per the engine's
+    /// [`Backpressure`] policy when the session queue is full; the receipt
+    /// says what happened (`accepted` is 1, `dropped` counts any earlier
+    /// reports evicted to make room).
     ///
     /// # Errors
     ///
     /// [`RfipadError::SessionClosed`] once the session was closed or
     /// evicted; [`RfipadError::EngineDown`] after engine shutdown.
-    pub fn feed(&self, report: TagReport) -> Result<(), RfipadError> {
-        self.feed_item(QueueItem::One(report)).map(|_| ())
+    pub fn ingest(&self, report: TagReport) -> Result<IngestReceipt, RfipadError> {
+        self.ingest_item(QueueItem::One(report))
     }
 
-    /// Feeds a whole batch as one queue item: one channel round-trip, one
-    /// worker wakeup, and one latency record for the entire batch. Under
-    /// [`Backpressure::Block`] the session's recognitions are bit-identical
-    /// to feeding the same reports one at a time. Returns how many reports
-    /// the batch carried; an empty batch is a no-op (but still fails on a
-    /// closed session or a downed engine).
+    /// Ingests a whole batch as one queue item: one channel round-trip,
+    /// one worker wakeup, and one latency record for the entire batch.
+    /// Under [`Backpressure::Block`] the session's recognitions are
+    /// bit-identical to ingesting the same reports one at a time. The
+    /// receipt's `accepted` is the batch length; an empty batch is a no-op
+    /// (but still fails on a closed session or a downed engine).
     ///
     /// Under [`Backpressure::DropOldest`] a full queue evicts whole queued
     /// *items*, so one eviction may drop an entire earlier batch — every
-    /// dropped report is counted in [`SessionStats::reports_dropped`].
+    /// dropped report is counted in the receipt and in
+    /// [`SessionStats::reports_dropped`].
     ///
     /// # Errors
     ///
-    /// As for [`SessionHandle::feed`].
-    pub fn feed_batch(&self, batch: ReportBatch) -> Result<usize, RfipadError> {
-        self.feed_item(QueueItem::Batch(batch))
+    /// As for [`SessionHandle::ingest`].
+    pub fn ingest_batch(&self, batch: ReportBatch) -> Result<IngestReceipt, RfipadError> {
+        self.ingest_item(QueueItem::Batch(batch))
     }
 
-    fn feed_item(&self, item: QueueItem) -> Result<usize, RfipadError> {
+    fn ingest_item(&self, item: QueueItem) -> Result<IngestReceipt, RfipadError> {
         let sess = &self.inner;
         let em = crate::telemetry::engine_metrics();
         if self.shared.down.load(Ordering::SeqCst) {
@@ -1102,8 +1150,9 @@ impl SessionHandle {
         }
         let n = item.reports();
         if n == 0 {
-            return Ok(0);
+            return Ok(IngestReceipt::default());
         }
+        let mut evicted_here = 0u64;
         match self.shared.config.backpressure {
             Backpressure::Block => {
                 if sess.queue_tx.send(item).is_err() {
@@ -1121,6 +1170,7 @@ impl SessionHandle {
                             // beat us to it, which is just as good).
                             if let Ok(evicted) = sess.queue_rx.try_recv() {
                                 let dropped = evicted.reports() as u64;
+                                evicted_here += dropped;
                                 sess.counters
                                     .reports_dropped
                                     .fetch_add(dropped, Ordering::Relaxed);
@@ -1150,63 +1200,102 @@ impl SessionHandle {
             self.shared.epoch.elapsed().as_micros() as u64,
             Ordering::Relaxed,
         );
-        schedule(&self.shared, sess).map(|_| n)
+        schedule(&self.shared, sess).map(|_| IngestReceipt {
+            accepted: n as u64,
+            dropped: evicted_here,
+        })
     }
 
-    /// Drains a [`ReportSource`] into the session, one
-    /// [`SessionHandle::feed`] per report. Returns how many reports were
-    /// fed.
+    /// Drains a [`ReportSource`] into the session in batches of
+    /// [`DEFAULT_INGEST_BATCH`] reports — the recommended bulk path.
+    /// Returns the accumulated receipt.
     ///
     /// # Errors
     ///
-    /// Feed errors as in [`SessionHandle::feed`]; a source that dies
+    /// Ingest errors as in [`SessionHandle::ingest`]; a source that dies
     /// mid-stream surfaces its typed error as [`RfipadError::Source`]
-    /// (after everything before the fault was fed).
-    pub fn feed_source(&self, source: &mut dyn ReportSource) -> Result<usize, RfipadError> {
-        let mut fed = 0usize;
-        while let Some(report) = source.next_report() {
-            self.feed(report)?;
-            fed += 1;
-        }
-        match source.take_error() {
-            Some(e) => Err(e.into()),
-            None => Ok(fed),
-        }
+    /// (after everything before the fault was ingested).
+    pub fn ingest_source(
+        &self,
+        source: &mut dyn ReportSource,
+    ) -> Result<IngestReceipt, RfipadError> {
+        self.ingest_source_batched(source, DEFAULT_INGEST_BATCH)
     }
 
     /// Drains a [`ReportSource`] into the session in batches of up to
-    /// `batch_size` reports, one [`SessionHandle::feed_batch`] per refill.
-    /// Returns how many reports were fed. Under [`Backpressure::Block`]
-    /// this is event-identical to [`feed_source`](Self::feed_source) —
-    /// just with the per-report queue and telemetry costs amortized over
-    /// each batch.
+    /// `batch_size` reports, one [`SessionHandle::ingest_batch`] per
+    /// refill. Returns the accumulated receipt. Under
+    /// [`Backpressure::Block`] the events are identical for every
+    /// `batch_size` — batching only amortizes the per-item queue and
+    /// telemetry costs.
     ///
     /// # Errors
     ///
-    /// As for [`SessionHandle::feed_source`]; `batch_size == 0` is
+    /// As for [`SessionHandle::ingest_source`]; `batch_size == 0` is
     /// rejected as [`RfipadError::InvalidConfig`].
-    pub fn feed_source_batched(
+    pub fn ingest_source_batched(
         &self,
         source: &mut dyn ReportSource,
         batch_size: usize,
-    ) -> Result<usize, RfipadError> {
+    ) -> Result<IngestReceipt, RfipadError> {
         if batch_size == 0 {
             return Err(RfipadError::InvalidConfig(
-                "feed_source_batched batch_size must be at least 1".into(),
+                "ingest_source_batched batch_size must be at least 1".into(),
             ));
         }
-        let mut fed = 0usize;
+        let mut receipt = IngestReceipt::default();
         loop {
             let mut batch = ReportBatch::with_capacity(batch_size);
             if source.next_batch(batch_size, &mut batch) == 0 {
                 break;
             }
-            fed += self.feed_batch(batch)?;
+            receipt += self.ingest_batch(batch)?;
         }
         match source.take_error() {
             Some(e) => Err(e.into()),
-            None => Ok(fed),
+            None => Ok(receipt),
         }
+    }
+
+    /// Deprecated name for [`SessionHandle::ingest`] (which also reports
+    /// what happened via [`IngestReceipt`]).
+    #[deprecated(since = "0.1.0", note = "use `ingest`, which returns an IngestReceipt")]
+    pub fn feed(&self, report: TagReport) -> Result<(), RfipadError> {
+        self.ingest(report).map(|_| ())
+    }
+
+    /// Deprecated name for [`SessionHandle::ingest_batch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest_batch`, which returns an IngestReceipt"
+    )]
+    pub fn feed_batch(&self, batch: ReportBatch) -> Result<usize, RfipadError> {
+        self.ingest_batch(batch).map(|r| r.accepted as usize)
+    }
+
+    /// Deprecated name for a per-report
+    /// [`SessionHandle::ingest_source_batched`] drain.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest_source` / `ingest_source_batched`, which return an IngestReceipt"
+    )]
+    pub fn feed_source(&self, source: &mut dyn ReportSource) -> Result<usize, RfipadError> {
+        self.ingest_source_batched(source, 1)
+            .map(|r| r.accepted as usize)
+    }
+
+    /// Deprecated name for [`SessionHandle::ingest_source_batched`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ingest_source_batched`, which returns an IngestReceipt"
+    )]
+    pub fn feed_source_batched(
+        &self,
+        source: &mut dyn ReportSource,
+        batch_size: usize,
+    ) -> Result<usize, RfipadError> {
+        self.ingest_source_batched(source, batch_size)
+            .map(|r| r.accepted as usize)
     }
 
     /// Collects the events produced so far (recognitions already drained
@@ -1478,7 +1567,7 @@ mod tests {
         let engine = Engine::builder().workers(2).build().expect("engine");
         let session = engine.open_session("solo", pipeline()).expect("open");
         for o in recording() {
-            session.feed(o).expect("feed");
+            session.ingest(o).expect("feed");
         }
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
@@ -1497,7 +1586,7 @@ mod tests {
                         .open_session(format!("s{i}"), pipeline())
                         .expect("open");
                     for o in recording() {
-                        session.feed(o).expect("feed");
+                        session.ingest(o).expect("feed");
                     }
                     let mut events = session.close().expect("close");
                     normalize_events(&mut events);
@@ -1528,16 +1617,17 @@ mod tests {
     }
 
     #[test]
-    fn feed_batch_matches_serial_replay() {
+    fn ingest_batch_matches_serial_replay() {
         let expected = serial_events();
         let engine = Engine::builder().workers(2).build().expect("engine");
         let session = engine.open_session("batched", pipeline()).expect("open");
         let reports = recording();
         for chunk in reports.chunks(64) {
-            let fed = session
-                .feed_batch(chunk.iter().copied().collect())
-                .expect("feed_batch");
-            assert_eq!(fed, chunk.len());
+            let receipt = session
+                .ingest_batch(chunk.iter().copied().collect())
+                .expect("ingest_batch");
+            assert_eq!(receipt.accepted, chunk.len() as u64);
+            assert_eq!(receipt.dropped, 0, "lossless backpressure never drops");
         }
         let stats = session.stats();
         assert_eq!(stats.reports_in, reports.len() as u64);
@@ -1547,18 +1637,18 @@ mod tests {
     }
 
     #[test]
-    fn feed_batch_and_feed_interleave_in_order() {
+    fn ingest_batch_and_ingest_interleave_in_order() {
         let expected = serial_events();
         let engine = Engine::builder().workers(1).build().expect("engine");
         let session = engine.open_session("mixed", pipeline()).expect("open");
         for (i, chunk) in recording().chunks(17).enumerate() {
             if i % 2 == 0 {
                 session
-                    .feed_batch(chunk.iter().copied().collect())
+                    .ingest_batch(chunk.iter().copied().collect())
                     .expect("feed_batch");
             } else {
                 for &o in chunk {
-                    session.feed(o).expect("feed");
+                    session.ingest(o).expect("feed");
                 }
             }
         }
@@ -1568,30 +1658,34 @@ mod tests {
     }
 
     #[test]
-    fn feed_batch_empty_is_noop() {
+    fn ingest_batch_empty_is_noop() {
         let engine = Engine::builder().workers(1).build().expect("engine");
         let session = engine
             .open_session("empty", quiet_pipeline())
             .expect("open");
-        assert_eq!(session.feed_batch(ReportBatch::new()).expect("feed"), 0);
+        assert_eq!(
+            session.ingest_batch(ReportBatch::new()).expect("ingest"),
+            IngestReceipt::default()
+        );
         assert_eq!(session.stats().reports_in, 0);
         session.close().expect("close");
     }
 
     #[test]
-    fn feed_source_batched_matches_serial() {
+    fn ingest_source_batched_matches_serial() {
         let expected = serial_events();
         let engine = Engine::builder().workers(1).build().expect("engine");
         let session = engine.open_session("src", pipeline()).expect("open");
         assert!(matches!(
-            session.feed_source_batched(&mut LiveSource::new(Vec::new()), 0),
+            session.ingest_source_batched(&mut LiveSource::new(Vec::new()), 0),
             Err(RfipadError::InvalidConfig(_))
         ));
         let mut source = LiveSource::new(recording());
-        let fed = session
-            .feed_source_batched(&mut source, 48)
-            .expect("feed_source_batched");
-        assert_eq!(fed, recording().len());
+        let receipt = session
+            .ingest_source_batched(&mut source, 48)
+            .expect("ingest_source_batched");
+        assert_eq!(receipt.accepted, recording().len() as u64);
+        assert_eq!(receipt.dropped, 0);
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
         assert_eq!(events, expected);
@@ -1608,27 +1702,36 @@ mod tests {
         let session = engine
             .open_session("lossy-batch", quiet_pipeline())
             .expect("open");
-        let dropped = {
+        let (dropped, receipt) = {
             // Stall the worker so the 2-item queue genuinely fills. The
             // worker may pull one batch off the queue before stalling, so
             // either one or two of the four 3-report batches get evicted —
             // always whole batches, so the drop count is a multiple of 3.
             let _stall = session.inner.state.lock().expect("state");
+            let mut receipt = IngestReceipt::default();
             for chunk in quiet_reports(12).chunks(3) {
-                session
-                    .feed_batch(chunk.iter().copied().collect())
-                    .expect("feed_batch");
+                receipt += session
+                    .ingest_batch(chunk.iter().copied().collect())
+                    .expect("ingest_batch");
             }
-            session
-                .inner
-                .counters
-                .reports_dropped
-                .load(Ordering::Relaxed)
+            (
+                session
+                    .inner
+                    .counters
+                    .reports_dropped
+                    .load(Ordering::Relaxed),
+                receipt,
+            )
         };
         assert!(
             dropped == 3 || dropped == 6,
             "dropped {dropped} of 12, expected one or two whole batches"
         );
+        // The receipts account for every report: all 12 were accepted onto
+        // the queue, and the evictions the callers performed sum to the
+        // session's drop counter.
+        assert_eq!(receipt.accepted, 12);
+        assert_eq!(receipt.dropped, dropped);
         session.close().expect("close");
         let stats = engine.stats();
         assert_eq!(stats.reports_in, 12);
@@ -1663,7 +1766,7 @@ mod tests {
             // feeds evict an older one — never fewer.
             let _stall = session.inner.state.lock().expect("state");
             for o in quiet_reports(10) {
-                session.feed(o).expect("feed");
+                session.ingest(o).expect("feed");
             }
             session
                 .inner
@@ -1700,7 +1803,7 @@ mod tests {
                 let session = Arc::clone(&session);
                 move || {
                     for o in quiet_reports(32) {
-                        session.feed(o).expect("feed");
+                        session.ingest(o).expect("feed");
                     }
                 }
             });
@@ -1732,13 +1835,13 @@ mod tests {
             .expect("engine");
         let session = engine.open_session("idle", quiet_pipeline()).expect("open");
         session
-            .feed(quiet_reports(1).pop().expect("one"))
+            .ingest(quiet_reports(1).pop().expect("one"))
             .expect("feed");
         assert!(engine.sweep_idle().is_empty(), "fresh session must survive");
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(engine.sweep_idle(), vec!["idle".to_string()]);
         assert!(matches!(
-            session.feed(quiet_reports(1).pop().expect("one")),
+            session.ingest(quiet_reports(1).pop().expect("one")),
             Err(RfipadError::SessionClosed(_))
         ));
         assert!(!session.is_open());
@@ -1754,11 +1857,11 @@ mod tests {
         let engine = Engine::builder().workers(2).build().expect("engine");
         let session = engine.open_session("late", quiet_pipeline()).expect("open");
         for o in quiet_reports(20) {
-            session.feed(o).expect("feed");
+            session.ingest(o).expect("feed");
         }
         engine.shutdown();
         assert!(matches!(
-            session.feed(quiet_reports(1).pop().expect("one")),
+            session.ingest(quiet_reports(1).pop().expect("one")),
             Err(RfipadError::EngineDown)
         ));
         // Shutdown flushed the pipeline; close just collects.
@@ -1789,7 +1892,7 @@ mod tests {
             .open_session("meter", quiet_pipeline())
             .expect("open");
         for o in quiet_reports(50) {
-            session.feed(o).expect("feed");
+            session.ingest(o).expect("feed");
         }
         // Drain fully so the latency window is populated.
         let _ = session.drain_events();
@@ -1831,7 +1934,7 @@ mod tests {
             .open_session("meter-ep", quiet_pipeline())
             .expect("open");
         for o in quiet_reports(10) {
-            session.feed(o).expect("feed");
+            session.ingest(o).expect("feed");
         }
         // In-process sinks.
         let text = engine.metrics_text();
@@ -1867,7 +1970,7 @@ mod tests {
             .open_session("migrate-src", pipeline())
             .expect("open");
         for o in &reports[..split] {
-            session.feed(*o).expect("feed");
+            session.ingest(*o).expect("feed");
         }
         let checkpoint = session.checkpoint().expect("checkpoint");
         assert_eq!(checkpoint.id(), "migrate-src");
@@ -1884,7 +1987,7 @@ mod tests {
             .restore_session("migrate-dst", pipeline(), &parsed)
             .expect("restore");
         for o in &reports[split..] {
-            restored.feed(*o).expect("feed");
+            restored.ingest(*o).expect("feed");
         }
         events.extend(restored.close().expect("close restored"));
         normalize_events(&mut events);
@@ -1897,7 +2000,7 @@ mod tests {
         let engine = Engine::builder().workers(1).build().expect("engine");
         let session = engine.open_session("cp", quiet_pipeline()).expect("open");
         for o in quiet_reports(30) {
-            session.feed(o).expect("feed");
+            session.ingest(o).expect("feed");
         }
         let wire = session.checkpoint().expect("checkpoint").to_json();
         assert!(matches!(
@@ -1946,7 +2049,7 @@ mod tests {
             .expect("engine");
         let session = engine.open_session("gone", quiet_pipeline()).expect("open");
         session
-            .feed(quiet_reports(1).pop().expect("one"))
+            .ingest(quiet_reports(1).pop().expect("one"))
             .expect("feed");
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(engine.sweep_idle(), vec!["gone".to_string()]);
@@ -1964,6 +2067,205 @@ mod tests {
         let session = engine.open_session("down", quiet_pipeline()).expect("open");
         engine.shutdown();
         assert!(matches!(session.checkpoint(), Err(RfipadError::EngineDown)));
+    }
+
+    /// The `feed*` names survive as thin forwarders; this is the one
+    /// place in the repo that still calls them.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_feed_forwarders_match_ingest() {
+        let expected = serial_events();
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("legacy", pipeline()).expect("open");
+        let reports = recording();
+        let (head, tail) = reports.split_at(reports.len() / 2);
+        for o in head {
+            session.feed(*o).expect("feed");
+        }
+        let fed = session
+            .feed_batch(tail.iter().copied().collect())
+            .expect("feed_batch");
+        assert_eq!(fed, tail.len());
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+
+        let session = engine.open_session("legacy-src", pipeline()).expect("open");
+        let fed = session
+            .feed_source(&mut LiveSource::new(recording()))
+            .expect("feed_source");
+        assert_eq!(fed, recording().len());
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+
+        let session = engine
+            .open_session("legacy-batched", pipeline())
+            .expect("open");
+        let fed = session
+            .feed_source_batched(&mut LiveSource::new(recording()), 32)
+            .expect("feed_source_batched");
+        assert_eq!(fed, recording().len());
+        let mut events = session.close().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, expected);
+    }
+
+    /// Lifecycle race: ingestors hammering sessions while a sweeper
+    /// evicts them and the owners close them. Nothing may panic, every
+    /// error must be a typed lifecycle error, and the engine's drop
+    /// accounting must exactly match the receipts the ingestors were
+    /// handed (a dropped report is counted once, an accepted one never
+    /// lost).
+    #[test]
+    fn concurrent_ingest_close_and_sweep_conserve_receipts() {
+        let em = crate::telemetry::engine_metrics();
+        let reg_in_before = em.reports_in.get();
+        let reg_dropped_before = em.reports_dropped.get();
+
+        let engine = std::sync::Arc::new(
+            Engine::builder()
+                .workers(2)
+                .queue_capacity(8)
+                .backpressure(Backpressure::DropOldest)
+                // Sessions become sweepable within ~letter_gap_s µs of
+                // their last feed — the sweeper races every round.
+                .idle_eviction_factor(1e-6)
+                .build()
+                .expect("engine"),
+        );
+
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sweeper = {
+            let engine = std::sync::Arc::clone(&engine);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut evicted = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    evicted += engine.sweep_idle().len();
+                    std::thread::yield_now();
+                }
+                evicted
+            })
+        };
+
+        let ingestors: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = std::sync::Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut receipt = IngestReceipt::default();
+                    for round in 0..20 {
+                        let session = match engine
+                            .open_session(format!("race-{t}-{round}"), quiet_pipeline())
+                        {
+                            Ok(s) => s,
+                            Err(RfipadError::EngineDown) => break,
+                            Err(e) => panic!("open: {e}"),
+                        };
+                        for chunk in quiet_reports(48).chunks(12) {
+                            match session.ingest_batch(chunk.iter().copied().collect()) {
+                                Ok(r) => receipt.absorb(r),
+                                // Swept mid-round: the id is gone, move on.
+                                Err(RfipadError::SessionClosed(_)) => break,
+                                Err(e) => panic!("ingest: {e}"),
+                            }
+                        }
+                        match session.close() {
+                            Ok(_) | Err(RfipadError::SessionClosed(_)) => {}
+                            Err(e) => panic!("close: {e}"),
+                        }
+                    }
+                    receipt
+                })
+            })
+            .collect();
+
+        let mut total = IngestReceipt::default();
+        for handle in ingestors {
+            total.absorb(handle.join().expect("ingestor panicked"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        sweeper.join().expect("sweeper panicked");
+
+        // Receipts mirror the engine's own accounting exactly…
+        let stats = engine.stats();
+        assert_eq!(stats.reports_in, total.accepted, "accepted conserved");
+        assert_eq!(stats.reports_dropped, total.dropped, "dropped conserved");
+        // …and the registry mirror kept every increment (>= because the
+        // counters are process-global and other tests run concurrently).
+        assert!(em.reports_in.get() - reg_in_before >= total.accepted);
+        assert!(em.reports_dropped.get() - reg_dropped_before >= total.dropped);
+        match std::sync::Arc::try_unwrap(engine) {
+            Ok(engine) => engine.shutdown(),
+            Err(_) => panic!("engine still referenced after joins"),
+        }
+    }
+
+    /// Out-of-order clamp counts outlive the session that produced them:
+    /// the registry is the durable sink once eviction destroys the
+    /// per-session statistics.
+    #[test]
+    fn clamp_counts_survive_session_eviction() {
+        let clamped = || {
+            obs::registry()
+                .counter(
+                    "rfipad_pipeline_out_of_order_total",
+                    "Reports that arrived with a stale timestamp, by applied policy.",
+                    &[("policy", "clamp")],
+                )
+                .get()
+        };
+        let before = clamped();
+
+        let engine = Engine::builder()
+            .workers(1)
+            .idle_eviction_factor(1e-6)
+            .build()
+            .expect("engine");
+        let session = engine
+            .open_session("clamp-evict", quiet_pipeline())
+            .expect("open");
+        // Feed forward, then stale: timestamps run backwards at the seam.
+        let mut reports = quiet_reports(30);
+        let stale: Vec<TagReport> = reports
+            .iter()
+            .map(|r| TagReport {
+                time: r.time - 5.0,
+                ..*r
+            })
+            .collect();
+        reports.extend(stale);
+        let receipt = session
+            .ingest_batch(reports.iter().copied().collect())
+            .expect("ingest");
+        assert_eq!(receipt.accepted, reports.len() as u64);
+
+        // Wait until every stale report has been clamped, then let the
+        // sweeper destroy the session.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while session.stats().out_of_order < 30 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "clamps never recorded"
+            );
+            std::thread::yield_now();
+        }
+        let session_clamps = session.stats().out_of_order;
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let evicted = engine.sweep_idle();
+        assert_eq!(evicted, vec!["clamp-evict".to_string()]);
+        assert!(!session.is_open(), "session is gone");
+
+        // The per-session count died with the session; the registry
+        // mirror kept every clamp.
+        while clamped() - before < session_clamps {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "registry lost clamp counts after eviction"
+            );
+            std::thread::yield_now();
+        }
+        engine.shutdown();
     }
 
     #[test]

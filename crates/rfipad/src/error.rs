@@ -59,6 +59,22 @@ impl fmt::Display for RfipadError {
     }
 }
 
+impl RfipadError {
+    /// The one way builders report a bad field: every validating builder
+    /// (`EngineBuilder`, `RecognizerBuilder`, `OnlinePipelineBuilder`,
+    /// `StageGraphBuilder`, `IngestServerBuilder`) produces
+    /// [`RfipadError::InvalidConfig`] messages of the form
+    /// `Builder.field: reason`, so an error always names the offending
+    /// field.
+    pub(crate) fn invalid_field(
+        builder: &str,
+        field: &str,
+        reason: impl std::fmt::Display,
+    ) -> Self {
+        RfipadError::InvalidConfig(format!("{builder}.{field}: {reason}"))
+    }
+}
+
 impl std::error::Error for RfipadError {}
 
 impl From<rfid_gen2::source::SourceError> for RfipadError {

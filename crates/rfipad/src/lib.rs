@@ -74,6 +74,7 @@ pub mod multipad;
 pub mod pipeline;
 pub mod recognizer;
 pub mod segmentation;
+pub mod serve;
 pub mod stage;
 pub mod streams;
 pub(crate) mod telemetry;
@@ -82,7 +83,8 @@ pub mod words;
 pub use calibration::Calibration;
 pub use config::RfipadConfig;
 pub use engine::{
-    Backpressure, Engine, EngineStats, SessionCheckpoint, SessionHandle, SessionStats,
+    Backpressure, Engine, EngineStats, IngestReceipt, SessionCheckpoint, SessionHandle,
+    SessionStats,
 };
 pub use error::RfipadError;
 pub use layout::ArrayLayout;
@@ -90,6 +92,7 @@ pub use multipad::{PadDispatcher, PadEvent, PadHandle};
 pub use pipeline::{OnlinePipeline, PipelineEvent};
 pub use recognizer::{RecognizedStroke, Recognizer, SessionResult};
 pub use segmentation::{Segmentation, StrokeSpan};
+pub use serve::{CollectingSink, EventSink, IngestServer, IngestServerBuilder};
 pub use stage::{PipelineCheckpoint, Stage, StageGraph, StageGraphBuilder, StageState};
 pub use streams::{TagStreams, TagStreamsBuilder};
 pub use words::{DecodedWord, WordDecoder};
@@ -98,7 +101,9 @@ pub use words::{DecodedWord, WordDecoder};
 pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::config::RfipadConfig;
-    pub use crate::engine::{Backpressure, Engine, SessionCheckpoint, SessionHandle};
+    pub use crate::engine::{
+        Backpressure, Engine, IngestReceipt, SessionCheckpoint, SessionHandle,
+    };
     pub use crate::error::RfipadError;
     pub use crate::grammar::GrammarTree;
     pub use crate::layout::ArrayLayout;

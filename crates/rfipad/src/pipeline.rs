@@ -109,14 +109,28 @@ impl OnlinePipelineBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`RfipadError::InvalidConfig`] if no recognizer was given or
-    /// `letter_gap_s` is not positive and finite.
+    /// Returns [`RfipadError::InvalidConfig`] naming the offending field
+    /// (`OnlinePipelineBuilder.recognizer: required but not set`, or
+    /// `OnlinePipelineBuilder.letter_gap_s: must be positive and finite`).
     pub fn build(self) -> Result<OnlinePipeline, RfipadError> {
-        let mut builder = StageGraph::builder().out_of_order(self.out_of_order);
-        if let Some(recognizer) = self.recognizer {
-            builder = builder.recognizer(recognizer);
-        }
+        let recognizer = self.recognizer.ok_or_else(|| {
+            RfipadError::invalid_field(
+                "OnlinePipelineBuilder",
+                "recognizer",
+                "required but not set",
+            )
+        })?;
+        let mut builder = StageGraph::builder()
+            .out_of_order(self.out_of_order)
+            .recognizer(recognizer);
         if let Some(letter_gap_s) = self.letter_gap_s {
+            if !(letter_gap_s > 0.0 && letter_gap_s.is_finite()) {
+                return Err(RfipadError::invalid_field(
+                    "OnlinePipelineBuilder",
+                    "letter_gap_s",
+                    format!("must be positive and finite, got {letter_gap_s}"),
+                ));
+            }
             builder = builder.letter_gap_s(letter_gap_s);
         }
         Ok(OnlinePipeline {

@@ -99,13 +99,18 @@ impl RecognizerBuilder {
     /// missing, or if the configuration fails [`RfipadConfig::validate`].
     pub fn build(self) -> Result<Recognizer, RfipadError> {
         let layout = self.layout.ok_or_else(|| {
-            RfipadError::InvalidConfig("Recognizer::builder() needs a layout".into())
+            RfipadError::invalid_field("RecognizerBuilder", "layout", "required but not set")
         })?;
         let calibration = self.calibration.ok_or_else(|| {
-            RfipadError::InvalidConfig("Recognizer::builder() needs a calibration".into())
+            RfipadError::invalid_field("RecognizerBuilder", "calibration", "required but not set")
         })?;
         let config = self.config.unwrap_or_default();
-        config.validate()?;
+        config.validate().map_err(|e| match e {
+            RfipadError::InvalidConfig(msg) => {
+                RfipadError::invalid_field("RecognizerBuilder", "config", msg)
+            }
+            other => other,
+        })?;
         Ok(Recognizer {
             motion: MotionRecognizer::new(config.clone()),
             direction: DirectionEstimator::new(config.clone()),

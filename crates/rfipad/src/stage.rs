@@ -853,12 +853,14 @@ impl StageGraphBuilder {
     /// or `letter_gap_s` is not positive and finite.
     pub fn build(self) -> Result<StageGraph, RfipadError> {
         let recognizer = self.recognizer.ok_or_else(|| {
-            RfipadError::InvalidConfig("StageGraph::builder() needs a recognizer".into())
+            RfipadError::invalid_field("StageGraphBuilder", "recognizer", "required but not set")
         })?;
         let letter_gap_s = self.letter_gap_s.unwrap_or(1.5);
         if !(letter_gap_s > 0.0 && letter_gap_s.is_finite()) {
-            return Err(RfipadError::InvalidConfig(
-                "letter_gap_s must be positive and finite".into(),
+            return Err(RfipadError::invalid_field(
+                "StageGraphBuilder",
+                "letter_gap_s",
+                format!("must be positive and finite, got {letter_gap_s}"),
             ));
         }
         let end_guard_s =

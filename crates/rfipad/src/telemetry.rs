@@ -7,9 +7,10 @@
 //! stays in [`crate::engine`]'s own statistics.
 //!
 //! Naming follows DESIGN.md §Observability: `rfipad_stage_*`,
-//! `rfipad_pipeline_*`, `rfipad_engine_*`, `rfipad_session_*`.
+//! `rfipad_pipeline_*`, `rfipad_engine_*`, `rfipad_session_*`,
+//! `rfipad_serve_*`.
 
-use obs::{Counter, Histogram};
+use obs::{Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
 
 /// Name of the per-stage push-duration histogram family. One series per
@@ -148,6 +149,96 @@ pub(crate) struct EngineMetrics {
     pub push_latency: Arc<Histogram>,
     /// Currently open sessions.
     pub sessions_open: Arc<obs::Gauge>,
+}
+
+/// Cached handles for the TCP ingest server ([`crate::serve`]). Counters
+/// are lifetime totals across every server in the process; the gauge
+/// tracks live connections. Per-connection gauges
+/// (`rfipad_serve_connection_*`) are registered at accept time and
+/// removed when the connection ends, mirroring how engine sessions manage
+/// their labelled series.
+pub(crate) struct ServeMetrics {
+    /// Connections accepted.
+    pub connections_accepted: Arc<Counter>,
+    /// Connections that ended for any reason (client close, error, idle
+    /// disconnect, shutdown drain).
+    pub connections_closed: Arc<Counter>,
+    /// Connections dropped by the idle-disconnect deadline.
+    pub idle_disconnects: Arc<Counter>,
+    /// Frames decoded from clients, all types.
+    pub frames_in: Arc<Counter>,
+    /// ACK responses sent (frame fully accepted, nothing shed).
+    pub acks_out: Arc<Counter>,
+    /// SHED responses sent (batch accepted, older reports evicted).
+    pub sheds_out: Arc<Counter>,
+    /// ERROR responses sent.
+    pub errors_out: Arc<Counter>,
+    /// Reports accepted off the wire into engine sessions.
+    pub reports_in: Arc<Counter>,
+    /// Reports shed by backpressure while serving.
+    pub reports_shed: Arc<Counter>,
+    /// Currently open connections.
+    pub connections_open: Arc<Gauge>,
+}
+
+/// The lazily registered ingest-server metrics.
+pub(crate) fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        ServeMetrics {
+            connections_accepted: r.counter(
+                "rfipad_serve_connections_accepted_total",
+                "TCP ingest connections accepted.",
+                &[],
+            ),
+            connections_closed: r.counter(
+                "rfipad_serve_connections_closed_total",
+                "TCP ingest connections ended, for any reason.",
+                &[],
+            ),
+            idle_disconnects: r.counter(
+                "rfipad_serve_idle_disconnects_total",
+                "Connections dropped for exceeding the idle deadline.",
+                &[],
+            ),
+            frames_in: r.counter(
+                "rfipad_serve_frames_in_total",
+                "Wire frames decoded from ingest clients.",
+                &[],
+            ),
+            acks_out: r.counter(
+                "rfipad_serve_acks_total",
+                "ACK responses sent to ingest clients.",
+                &[],
+            ),
+            sheds_out: r.counter(
+                "rfipad_serve_sheds_total",
+                "SHED responses sent to ingest clients.",
+                &[],
+            ),
+            errors_out: r.counter(
+                "rfipad_serve_errors_total",
+                "Error responses sent to ingest clients.",
+                &[],
+            ),
+            reports_in: r.counter(
+                "rfipad_serve_reports_in_total",
+                "Reports accepted off the wire into engine sessions.",
+                &[],
+            ),
+            reports_shed: r.counter(
+                "rfipad_serve_reports_shed_total",
+                "Reports evicted by backpressure while serving.",
+                &[],
+            ),
+            connections_open: r.gauge(
+                "rfipad_serve_connections_open",
+                "Currently open ingest connections.",
+                &[],
+            ),
+        }
+    })
 }
 
 /// The lazily registered engine metrics.

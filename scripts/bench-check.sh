@@ -28,6 +28,7 @@ baseline_rps() {
 }
 base_ingest=$(baseline_rps ingest_batch)
 base_framing=$(baseline_rps incremental_framing)
+base_serve=$(baseline_rps serve_loopback)
 
 echo "== format =="
 cargo fmt --check
@@ -53,6 +54,13 @@ cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
 
 echo "== multi-session engine smoke (8 golden-trace replays) =="
 cargo run --release -p experiments --bin engine_bench -- --sessions 8
+
+echo "== serve smoke (golden trace over loopback TCP, bit-identical) =="
+# load_gen starts an in-process ingest server, replays the golden trace
+# over 4 concurrent connections × 2 multiplexed sessions each, verifies
+# every served session against the single-stream replay, and merges the
+# serve_loopback entry. A divergence is a hard failure.
+cargo run --release -p experiments --bin load_gen -- --connections 4 --sessions 2
 
 echo "== telemetry exposition smoke + overhead -> BENCH_pipeline.json =="
 # `stats` self-validates the exposition (names/labels well-formed, no
@@ -140,6 +148,16 @@ else
     exit 1
   }
   echo "stroke_batch_13 parallel speedup ${speedup} on ${cores} cores: OK"
+fi
+
+# Serve throughput gate: the loopback replay must hold its committed
+# reports_per_s. Skipped on one core, where client threads, connection
+# threads, and engine workers all contend for the same CPU and the
+# number measures the scheduler, not the server.
+if [ "${cores:-1}" -le 1 ]; then
+  echo "serve_loopback throughput gate skipped: cores=${cores:-1}"
+else
+  gate_rps serve_loopback "$(fresh_rps serve_loopback)" "$base_serve"
 fi
 
 echo "bench-check: OK"

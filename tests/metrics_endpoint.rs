@@ -40,7 +40,7 @@ fn live_engine_exposition_covers_every_layer() {
         .open_session("kiosk-metrics", pipeline)
         .expect("open session");
     for r in &trial.reports {
-        session.feed(*r).expect("feed");
+        session.ingest(*r).expect("ingest");
     }
     // Wait for the worker to process every queued report, so the stage
     // histograms have observations when we scrape.

@@ -1,0 +1,148 @@
+//! The TCP ingest server is a transparent transport: replaying the golden
+//! trace over loopback — concurrent connections, multiplexed sessions,
+//! batched frames — must reproduce the in-process batched engine replay
+//! bit for bit, and backpressure must surface on the wire as typed SHED
+//! deliveries, never as silent loss.
+
+use experiments::golden::{golden_bench, GOLDEN_LETTER};
+use experiments::serveload::{
+    golden_reports, replay_over_loopback, serial_replay, session_pipeline, LoopbackConfig,
+};
+use rfid_gen2::report::TagReport;
+use rfid_gen2::wire::IngestClient;
+use rfipad::engine::{normalize_events, Backpressure, Engine};
+use rfipad::serve::{CollectingSink, EventSink, IngestServer};
+use rfipad::{PipelineEvent, Recognizer};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// The golden fixture is seeded and deterministic but costly to rebuild,
+/// so every test shares one recording + recognizer + reference replay.
+fn fixture() -> &'static (Arc<Vec<TagReport>>, Recognizer, Vec<PipelineEvent>) {
+    static FIXTURE: OnceLock<(Arc<Vec<TagReport>>, Recognizer, Vec<PipelineEvent>)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let bench = golden_bench();
+        let reports = Arc::new(golden_reports(&bench));
+        let expected = serial_replay(&bench.recognizer, &reports);
+        (reports, bench.recognizer, expected)
+    })
+}
+
+/// The in-process reference the wire must match: the golden trace pushed
+/// through an engine session in batches, exactly as `engine_bench` does.
+fn in_process_batched_replay(
+    recognizer: &Recognizer,
+    reports: &[TagReport],
+    batch: usize,
+) -> Vec<PipelineEvent> {
+    let engine = Engine::builder().workers(2).build().expect("engine");
+    let session = engine
+        .open_session("in-process", session_pipeline(recognizer))
+        .expect("open");
+    let mut receipt = rfipad::IngestReceipt::default();
+    for chunk in reports.chunks(batch) {
+        receipt += session
+            .ingest_batch(chunk.iter().copied().collect())
+            .expect("ingest");
+    }
+    assert_eq!(receipt.accepted, reports.len() as u64);
+    assert_eq!(receipt.dropped, 0);
+    let mut events = session.close().expect("close");
+    normalize_events(&mut events);
+    engine.shutdown();
+    events
+}
+
+#[test]
+fn loopback_replay_is_bit_identical_to_in_process_batched_replay() {
+    let (reports, recognizer, expected) = fixture();
+    // The reference chain: serial push == in-process batched ingest.
+    let in_process = in_process_batched_replay(recognizer, reports, 64);
+    assert_eq!(in_process, *expected, "in-process batched replay diverged");
+    let letters: Vec<_> = expected
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::LetterRecognized { letter, .. } => Some(*letter),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(letters, vec![Some(GOLDEN_LETTER)]);
+
+    // Four concurrent connections, two sessions each, over loopback TCP:
+    // replay_over_loopback itself asserts every served session matches
+    // `expected`, which the in-process replay just reproduced.
+    let run = replay_over_loopback(
+        recognizer,
+        reports,
+        expected,
+        &LoopbackConfig {
+            connections: 4,
+            sessions_per_connection: 2,
+            batch: 64,
+            jobs: 0,
+            capacity: 1024,
+        },
+    )
+    .expect("loopback replay");
+    assert_eq!(run.sessions, 8);
+    assert_eq!(run.events_per_session, expected.len());
+}
+
+#[test]
+fn backpressure_surfaces_as_typed_shed_deliveries() {
+    let (reports, recognizer, _) = fixture();
+    let engine = Arc::new(
+        Engine::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .backpressure(Backpressure::DropOldest)
+            .build()
+            .expect("engine"),
+    );
+    let sink = Arc::new(CollectingSink::new());
+    let recognizer = recognizer.clone();
+    let server = IngestServer::builder()
+        .engine(engine)
+        .pipeline_factory(move |_| Ok(session_pipeline(&recognizer)))
+        .event_sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .read_timeout(Duration::from_millis(5))
+        .build()
+        .expect("server");
+    let mut client = IngestClient::connect(server.local_addr()).expect("connect");
+    client.open("busy").expect("open busy");
+    client.open("pad").expect("open pad");
+    // Wedge the single worker behind large batches on `busy`: it chews
+    // through tens of thousands of reports while `pad`'s 1-slot queue
+    // receives batch after batch. Each new batch must evict the queued
+    // one, and every eviction must come back as a SHED delivery — the
+    // wire reports loss, it never hides it.
+    let big: Vec<TagReport> = reports.iter().cycle().take(16_000).copied().collect();
+    for seq in 1..=3 {
+        let delivery = client
+            .send_batch("busy", seq, big.iter().copied().collect())
+            .expect("send busy");
+        assert_eq!(delivery.accepted, big.len() as u64);
+    }
+    let mut total = rfid_gen2::wire::Delivery::default();
+    for seq in 1..=8 {
+        let delivery = client
+            .send_batch("pad", seq, reports[..64].iter().copied().collect())
+            .expect("send pad");
+        assert_eq!(
+            delivery.accepted, 64,
+            "DropOldest always accepts the new batch"
+        );
+        total.accepted += delivery.accepted;
+        total.dropped += delivery.dropped;
+    }
+    assert_eq!(total.accepted, 512);
+    assert!(
+        total.dropped > 0,
+        "a wedged 1-slot queue must shed: {total:?}"
+    );
+    assert_eq!(total.dropped % 64, 0, "sheds are whole evicted batches");
+    client.close("pad").expect("close pad");
+    client.close("busy").expect("close busy");
+    server.shutdown();
+}

@@ -157,6 +157,53 @@ fn trace_sources_stream_what_live_source_holds() {
 }
 
 #[test]
+fn truncated_golden_trace_surfaces_one_typed_error_then_ends() {
+    // Regression: a binary trace cut mid-record (after a valid length
+    // prefix) must surface a typed truncation error exactly once and then
+    // keep the iterator terminated — not yield a partial batch, not loop,
+    // and not report a generic `UnexpectedEof` I/O error.
+    use rfid_gen2::source::SourceError;
+    use rfid_gen2::trace::TraceError;
+
+    let bytes = std::fs::read(GOLDEN_BINARY).expect("golden trace bytes");
+    let full = load(GOLDEN_BINARY);
+    // Cut 5 bytes into the final record's body: its 4-byte length prefix
+    // stays intact, the body is truncated.
+    let cut = bytes.len() - rfid_gen2::trace::BINARY_RECORD_LEN + 5;
+    let mut source = TraceSource::from_reader(&bytes[..cut]).expect("header intact");
+
+    let mut batch = rfid_gen2::report::ReportBatch::new();
+    let n = source.next_batch(usize::MAX, &mut batch);
+    assert_eq!(
+        n,
+        full.len() - 1,
+        "every record before the truncation decodes"
+    );
+    assert_eq!(batch.len(), n);
+    match source.error() {
+        Some(SourceError::Trace(TraceError::Malformed(reason))) => {
+            assert!(reason.contains("truncated record body"), "{reason}");
+        }
+        other => panic!("expected a typed truncation error, got {other:?}"),
+    }
+    // The latched error pins the stream: no more reports, no more refills.
+    assert!(source.next_report().is_none());
+    assert_eq!(source.next_batch(16, &mut batch), 0);
+    assert_eq!(batch.len(), n, "a dead source must not touch the batch");
+    // The error surfaces exactly once.
+    assert!(source.take_error().is_some());
+    assert!(source.take_error().is_none());
+
+    // A cut inside the 4-byte magic is typed too.
+    match TraceSource::from_reader(&bytes[..3]) {
+        Err(SourceError::Trace(TraceError::Malformed(reason))) => {
+            assert!(reason.contains("truncated magic"), "{reason}");
+        }
+        other => panic!("expected a typed magic error, got {other:?}"),
+    }
+}
+
+#[test]
 fn reencoding_the_golden_trace_is_byte_stable() {
     // Decode → encode must reproduce the committed files exactly: the
     // codec has one canonical form per framing.
