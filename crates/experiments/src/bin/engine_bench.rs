@@ -210,8 +210,8 @@ fn run_replay(
     let mut worst_p99 = 0u64;
     for feeder in feeders {
         let latency = feeder.join().map_err(|_| "feeder panicked".to_string())??;
-        worst_p50 = worst_p50.max(latency.p50_us);
-        worst_p99 = worst_p99.max(latency.p99_us);
+        worst_p50 = worst_p50.max(latency.p50_ns);
+        worst_p99 = worst_p99.max(latency.p99_ns);
     }
     let wall_s = start.elapsed().as_secs_f64();
 
@@ -258,7 +258,7 @@ fn run() -> Result<(), String> {
     let per_report = run_replay(&bench, &reports, &expected, &args, None)?;
     println!(
         "{} sessions replayed '{GOLDEN_LETTER}' identically in {:.3} s \
-         ({:.0} reports/s; worst per-session push p50 {} µs, p99 {} µs)",
+         ({:.0} reports/s; worst per-session push p50 {} ns, p99 {} ns)",
         args.sessions,
         per_report.wall_s,
         per_report.reports_per_s,
@@ -268,8 +268,8 @@ fn run() -> Result<(), String> {
     let entry = format!(
         "{{ \"sessions\": {}, \"workers\": {}, \"cores\": {cores}, \"queue_capacity\": {}, \
          \"reports_per_session\": {}, \"wall_s\": {:.3}, \
-         \"reports_per_s\": {:.0}, \"push_p50_us\": {}, \
-         \"push_p99_us\": {}, \"events_per_session\": {}, \
+         \"reports_per_s\": {:.0}, \"push_p50_ns\": {}, \
+         \"push_p99_ns\": {}, \"events_per_session\": {}, \
          \"identical_to_serial\": true }}",
         args.sessions,
         per_report.workers,
@@ -297,7 +297,7 @@ fn run() -> Result<(), String> {
     let entry = format!(
         "{{ \"sessions\": {}, \"workers\": {}, \"cores\": {cores}, \"queue_capacity\": {}, \
          \"batch\": {}, \"reports_per_session\": {}, \"wall_s\": {:.3}, \
-         \"reports_per_s\": {:.0}, \"push_p50_us\": {}, \"push_p99_us\": {}, \
+         \"reports_per_s\": {:.0}, \"push_p50_ns\": {}, \"push_p99_ns\": {}, \
          \"events_per_session\": {}, \"identical_to_serial\": true }}",
         args.sessions,
         batched.workers,

@@ -8,7 +8,13 @@
 //! `BENCH_pipeline.json` next to the other perf-trajectory probes.
 //!
 //! Usage: `cargo run --release -p experiments --bin load_gen [-- \
-//!   --connections N] [--sessions N] [--batch N] [--jobs N] [--capacity N]`
+//!   --connections N] [--sessions N] [--batch N] [--jobs N] [--capacity N] \
+//!   [--metrics-addr HOST:PORT] [--hold SECS]`
+//!
+//! `--metrics-addr` serves the engine's metrics/health/debug endpoint for
+//! the replay's duration, and `--hold` keeps the process (and endpoint)
+//! alive after the drain so external probes — `bench-check.sh` smoke-curls
+//! `/healthz`, `/readyz` and `/debug/journal` — hit a live engine.
 //!
 //! Defaults: 4 connections × 2 sessions, 64-report batches, one engine
 //! worker per core, 1024-item queues. The golden trace is read from
@@ -38,6 +44,19 @@ fn parse_args() -> Result<LoopbackConfig, String> {
             "--batch" => cfg.batch = grab("--batch")?,
             "--jobs" => cfg.jobs = grab("--jobs")?,
             "--capacity" => cfg.capacity = grab("--capacity")?,
+            "--metrics-addr" => {
+                cfg.metrics_addr = Some(
+                    it.next()
+                        .ok_or("--metrics-addr needs a value".to_string())?,
+                )
+            }
+            "--hold" => {
+                cfg.hold_s = it
+                    .next()
+                    .ok_or("--hold needs a value".to_string())?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--hold: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -97,6 +116,18 @@ fn run() -> Result<(), String> {
     experiments::benchjson::merge_entry("serve_loopback", &entry)
         .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
     obs::info!("merged serve_loopback entry into BENCH_pipeline.json");
+
+    println!(
+        "end-to-end response time over {} served events: p50 {:.6} s, p99 {:.6} s",
+        run.e2e_samples, run.e2e_p50_s, run.e2e_p99_s,
+    );
+    let entry = format!(
+        "{{ \"sessions\": {}, \"events\": {}, \"p50_s\": {:.6}, \"p99_s\": {:.6} }}",
+        run.sessions, run.e2e_samples, run.e2e_p50_s, run.e2e_p99_s,
+    );
+    experiments::benchjson::merge_entry("serve_e2e_latency", &entry)
+        .map_err(|e| format!("BENCH_pipeline.json: {e}"))?;
+    obs::info!("merged serve_e2e_latency entry into BENCH_pipeline.json");
     Ok(())
 }
 

@@ -15,6 +15,7 @@
 //! trace_tool replay <trace>
 //! trace_tool stats <trace> [--bench]
 //! trace_tool checkpoint <trace>
+//! trace_tool spans <dump.json>
 //! ```
 //!
 //! `record` simulates the golden session (or one writing `letter`) on the
@@ -31,6 +32,9 @@
 //! through the checkpoint JSON wire form, resumes on a fresh pipeline,
 //! and exits nonzero unless the stitched event stream matches an
 //! uninterrupted replay — the migration smoke test bench-check runs.
+//! `spans` renders a flight-recorder dump — the body of
+//! `/debug/trace/<session>` on a serving engine's endpoint — as a text
+//! timeline: one line per span, children indented under their parents.
 
 use experiments::golden::{golden_bench, golden_trial, GOLDEN_LETTER, GOLDEN_TRIAL_SEED};
 use hand_kinematics::user::UserProfile;
@@ -48,6 +52,7 @@ fn usage() -> ExitCode {
     eprintln!("       trace_tool replay <trace>");
     eprintln!("       trace_tool stats <trace> [--bench]");
     eprintln!("       trace_tool checkpoint <trace>");
+    eprintln!("       trace_tool spans <dump.json>");
     ExitCode::FAILURE
 }
 
@@ -325,6 +330,85 @@ fn checkpoint(path: &str) -> Result<(), RfipadError> {
     Ok(())
 }
 
+/// Renders a flight-recorder dump (`/debug/trace/<session>` body, or any
+/// file of span-event JSON lines) as a per-trace text timeline.
+fn spans(path: &str) -> Result<(), RfipadError> {
+    use obs::trace::SpanEvent;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| RfipadError::Source(format!("{path}: {e}")))?;
+    let mut events: Vec<SpanEvent> = text
+        .lines()
+        .filter_map(|line| SpanEvent::from_json(line.trim().trim_end_matches(',')))
+        .collect();
+    if events.is_empty() {
+        return Err(RfipadError::Source(format!(
+            "{path}: no span events (expected the JSON body of /debug/trace/<session>)"
+        )));
+    }
+    let dropped = text
+        .split_once("\"dropped\":")
+        .and_then(|(_, rest)| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0u64);
+    events.sort_by_key(|e| (e.trace.0, e.start_us, e.end_us));
+
+    // Depth = parent-chain length within the dump; orphaned parents (the
+    // span fell off the ring) count as roots.
+    let parents: std::collections::HashMap<u64, Option<u64>> = events
+        .iter()
+        .map(|e| (e.span.0, e.parent.map(|p| p.0)))
+        .collect();
+    let depth_of = |e: &SpanEvent| {
+        let mut depth = 0usize;
+        let mut cursor = e.parent.map(|p| p.0);
+        while let Some(p) = cursor {
+            if !parents.contains_key(&p) || depth >= 16 {
+                break;
+            }
+            depth += 1;
+            cursor = parents.get(&p).copied().flatten();
+        }
+        depth
+    };
+
+    println!(
+        "{} spans ({} dropped from the ring){}",
+        events.len(),
+        dropped,
+        if dropped > 0 {
+            " — oldest spans are missing"
+        } else {
+            ""
+        }
+    );
+    let mut current_trace = None;
+    let mut t0 = 0u64;
+    for e in &events {
+        if current_trace != Some(e.trace.0) {
+            current_trace = Some(e.trace.0);
+            t0 = events
+                .iter()
+                .filter(|x| x.trace == e.trace)
+                .map(|x| x.start_us)
+                .min()
+                .unwrap_or(e.start_us);
+            println!("trace {:016x}:", e.trace.0);
+        }
+        println!(
+            "  +{:>10.3} ms {:>10.3} ms  {}{}",
+            (e.start_us - t0) as f64 / 1e3,
+            (e.end_us.saturating_sub(e.start_us)) as f64 / 1e3,
+            "  ".repeat(depth_of(e)),
+            e.name,
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
@@ -338,6 +422,7 @@ fn main() -> ExitCode {
         [cmd, path] if cmd == "stats" => stats(path, false),
         [cmd, path, flag] if cmd == "stats" && flag == "--bench" => stats(path, true),
         [cmd, path] if cmd == "checkpoint" => checkpoint(path),
+        [cmd, path] if cmd == "spans" => spans(path),
         _ => return usage(),
     };
     match result {

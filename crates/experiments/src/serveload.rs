@@ -22,7 +22,7 @@ use std::time::Instant;
 pub const GOLDEN_TRACE_PATH: &str = "tests/data/golden_session.rftrace";
 
 /// Shape of a loopback replay.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LoopbackConfig {
     /// Concurrent client connections.
     pub connections: usize,
@@ -34,6 +34,12 @@ pub struct LoopbackConfig {
     pub jobs: usize,
     /// Engine per-session queue capacity.
     pub capacity: usize,
+    /// When set, the engine serves its metrics/health/debug endpoint
+    /// here for the replay's duration (e.g. `127.0.0.1:7939`).
+    pub metrics_addr: Option<String>,
+    /// Keep the engine (and its endpoint) alive this long after the
+    /// replay drains, so external probes can scrape a live process.
+    pub hold_s: f64,
 }
 
 impl Default for LoopbackConfig {
@@ -44,6 +50,8 @@ impl Default for LoopbackConfig {
             batch: 64,
             jobs: 0,
             capacity: 1024,
+            metrics_addr: None,
+            hold_s: 0.0,
         }
     }
 }
@@ -62,6 +70,13 @@ pub struct LoopbackRun {
     pub sessions: usize,
     /// Events each session produced.
     pub events_per_session: usize,
+    /// Median end-to-end response time over every served event, seconds
+    /// (the paper's response-time metric, measured through the wire).
+    pub e2e_p50_s: f64,
+    /// 99th-percentile end-to-end response time, seconds.
+    pub e2e_p99_s: f64,
+    /// Events the percentiles were computed over.
+    pub e2e_samples: usize,
 }
 
 /// The golden report stream: decoded from the committed trace when it is
@@ -130,14 +145,14 @@ pub fn replay_over_loopback(
     if cfg.connections == 0 || cfg.sessions_per_connection == 0 || cfg.batch == 0 {
         return Err("connections, sessions and batch must all be at least 1".into());
     }
-    let engine = Arc::new(
-        Engine::builder()
-            .workers(cfg.jobs)
-            .queue_capacity(cfg.capacity)
-            .backpressure(Backpressure::Block)
-            .build()
-            .map_err(|e| e.to_string())?,
-    );
+    let mut builder = Engine::builder()
+        .workers(cfg.jobs)
+        .queue_capacity(cfg.capacity)
+        .backpressure(Backpressure::Block);
+    if let Some(addr) = &cfg.metrics_addr {
+        builder = builder.metrics_addr(addr.clone());
+    }
+    let engine = Arc::new(builder.build().map_err(|e| e.to_string())?);
     let workers = engine.config().workers;
     let sink = Arc::new(CollectingSink::new());
     let factory_recognizer = recognizer.clone();
@@ -204,8 +219,21 @@ pub fn replay_over_loopback(
             collected.len()
         ));
     }
+    // End-to-end response times ride the raw events; they are zeroed by
+    // normalization, so collect them before comparing.
+    let mut e2e_s: Vec<f64> = Vec::new();
     for (id, events) in collected {
         let mut events = events;
+        for event in &events {
+            match event {
+                PipelineEvent::StrokeDetected {
+                    response_time_s, ..
+                }
+                | PipelineEvent::LetterRecognized {
+                    response_time_s, ..
+                } => e2e_s.push(*response_time_s),
+            }
+        }
         normalize_events(&mut events);
         if events != expected {
             return Err(format!(
@@ -216,6 +244,21 @@ pub fn replay_over_loopback(
             ));
         }
     }
+    e2e_s.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        if e2e_s.is_empty() {
+            0.0
+        } else {
+            e2e_s[((e2e_s.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let (e2e_p50_s, e2e_p99_s, e2e_samples) = (pct(0.50), pct(0.99), e2e_s.len());
+
+    if cfg.hold_s > 0.0 {
+        obs::info!("holding the engine alive for probes"; hold_s = cfg.hold_s,
+            addr = cfg.metrics_addr.as_deref().unwrap_or("-"));
+        std::thread::sleep(std::time::Duration::from_secs_f64(cfg.hold_s));
+    }
 
     let total_reports = sessions * reports.len();
     Ok(LoopbackRun {
@@ -224,5 +267,8 @@ pub fn replay_over_loopback(
         workers,
         sessions,
         events_per_session: expected.len(),
+        e2e_p50_s,
+        e2e_p99_s,
+        e2e_samples,
     })
 }

@@ -21,8 +21,13 @@
 //!   recent log events for post-mortem dumps.
 //! - **Exposition** ([`expo`]): Prometheus-style text and JSON renderings
 //!   of a registry, plus a validator for the text format.
+//! - **Tracing** ([`mod@trace`]): seedable [`trace::TraceId`]/[`trace::SpanId`]
+//!   streams, parent-linked span events, bounded per-session flight
+//!   recorders, and deterministic head sampling for hot-path hops.
 //! - **Serving** ([`serve`]): a minimal `std::net::TcpListener` HTTP
-//!   endpoint exposing `/metrics` (text) and `/stats.json` (JSON).
+//!   endpoint exposing `/metrics` (text) and `/stats.json` (JSON), plus
+//!   caller-defined routes ([`serve::serve_routes`]) for health and debug
+//!   endpoints.
 //!
 //! # Quickstart
 //!
@@ -64,6 +69,7 @@ pub mod logging;
 pub mod metrics;
 pub mod registry;
 pub mod serve;
+pub mod trace;
 
 pub use logging::{emit, enabled, max_level, set_level, telemetry_on, Level};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, SpanGuard};

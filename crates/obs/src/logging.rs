@@ -166,6 +166,32 @@ pub fn journal_clear() {
     JOURNAL.lock().expect("journal poisoned").clear();
 }
 
+/// Renders the journal as JSON, oldest first:
+/// `{"entries":[{"seq":N,"level":"INFO","target":"...","message":"..."}]}`.
+/// Backs the `/debug/journal` endpoint.
+pub fn journal_json() -> String {
+    use crate::expo::escape_json;
+    use std::fmt::Write as _;
+    let entries = journal_snapshot();
+    let mut out = String::with_capacity(64 + entries.len() * 96);
+    out.push_str("{\"entries\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"level\":\"{}\",\"target\":\"{}\",\"message\":\"{}\"}}",
+            e.seq,
+            e.level.tag(),
+            escape_json(&e.target),
+            escape_json(&e.message)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,14 @@ pub const DEFAULT_DURATION_BOUNDS_US: &[u64] = &[
     500_000, 1_000_000,
 ];
 
+/// Fixed log-spaced bucket bounds for sub-microsecond latencies in
+/// nanoseconds: 50 ns – 10 ms. Queue pushes routinely finish in a few
+/// hundred nanoseconds, which the microsecond bounds flatten to zero.
+pub const DEFAULT_DURATION_BOUNDS_NS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
 /// How many raw samples a histogram retains for exact percentiles. Matches
 /// the engine's historical `LatencyRecorder` window.
 pub const SAMPLE_WINDOW: usize = 4096;
@@ -152,11 +160,27 @@ impl Histogram {
         self.record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Records a [`std::time::Duration`] in whole nanoseconds (saturating)
+    /// — pair with [`DEFAULT_DURATION_BOUNDS_NS`] for sub-microsecond
+    /// latencies that the microsecond resolution would flatten to zero.
+    #[inline]
+    pub fn record_duration_ns(&self, elapsed: std::time::Duration) {
+        self.record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
     /// Starts a scoped timer that records elapsed microseconds on drop.
     /// Inert (clock never read) when telemetry is off — see
     /// [`crate::telemetry_on`].
     pub fn start_span(&self) -> SpanGuard<'_> {
-        if crate::telemetry_on() {
+        self.start_span_if(true)
+    }
+
+    /// Like [`Histogram::start_span`], but also inert when `sampled` is
+    /// false — the head-sampling hook for per-report hot paths, where even
+    /// the two clock reads of an always-on span are too expensive (see
+    /// `obs::trace::sampler`).
+    pub fn start_span_if(&self, sampled: bool) -> SpanGuard<'_> {
+        if sampled && crate::telemetry_on() {
             SpanGuard {
                 hist: Some((self, Instant::now())),
             }

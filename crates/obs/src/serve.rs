@@ -1,9 +1,13 @@
 //! A minimal metrics endpoint on `std::net::TcpListener`.
 //!
-//! One background thread accepts connections and answers two GET routes:
-//! `/metrics` (Prometheus text) and `/stats.json` (JSON snapshot). The
-//! render callback runs per request, so the server always serves fresh
-//! values and the caller can refresh derived gauges first.
+//! One background thread accepts connections and answers GET routes. The
+//! classic [`serve`] entry point wires the two metrics sinks (`/metrics`
+//! Prometheus text, `/stats.json` JSON); [`serve_routes`] additionally
+//! lets the caller answer arbitrary paths — health probes (`/healthz`,
+//! `/readyz`), the log journal (`/debug/journal`), per-session flight
+//! recorder dumps (`/debug/trace/<session>`) — with full control over the
+//! status code. Callbacks run per request, so the server always serves
+//! fresh values and the caller can refresh derived gauges first.
 //!
 //! Security note: there is no TLS and no authentication — bind to
 //! loopback (`127.0.0.1:0`) or a firewalled interface only, exactly like a
@@ -27,6 +31,59 @@ pub enum SinkFormat {
 
 /// Renders a sink on demand; runs on the server thread per request.
 pub type RenderFn = Arc<dyn Fn(SinkFormat) -> String + Send + Sync>;
+
+/// One HTTP response a route callback produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteResponse {
+    /// Status code (200, 404, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl RouteResponse {
+    /// A `200 OK` plain-text response.
+    pub fn ok_text(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `503 Service Unavailable` plain-text response (failed probes).
+    pub fn unavailable(body: impl Into<String>) -> Self {
+        Self {
+            status: 503,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` plain-text response.
+    pub fn not_found(body: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+}
+
+/// Answers a GET for `path` (query string already stripped), or `None` to
+/// fall through to the built-in 404. Runs on the server thread.
+pub type RouteFn = Arc<dyn Fn(&str) -> Option<RouteResponse> + Send + Sync>;
 
 /// Handle to a running metrics endpoint; shuts the thread down on drop.
 pub struct MetricsServer {
@@ -62,12 +119,28 @@ impl Drop for MetricsServer {
 /// Poll interval of the accept loop; bounds shutdown latency.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
-/// Starts a metrics endpoint on `addr` (e.g. `"127.0.0.1:0"`).
+/// Starts a metrics endpoint on `addr` (e.g. `"127.0.0.1:0"`) serving
+/// only the two metrics sinks.
 ///
 /// # Errors
 ///
 /// Returns the bind error if the address is unavailable.
 pub fn serve(addr: &str, render: RenderFn) -> std::io::Result<MetricsServer> {
+    serve_routes(addr, render, Arc::new(|_path| None))
+}
+
+/// Starts a metrics endpoint on `addr` serving `/metrics`, `/stats.json`,
+/// and whatever extra GET paths `routes` answers (health probes, debug
+/// dumps). `routes` wins on path collisions with the built-in sinks.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_routes(
+    addr: &str,
+    render: RenderFn,
+    routes: RouteFn,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
@@ -75,7 +148,7 @@ pub fn serve(addr: &str, render: RenderFn) -> std::io::Result<MetricsServer> {
     let stop_flag = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("obs-metrics".into())
-        .spawn(move || accept_loop(listener, render, stop_flag))
+        .spawn(move || accept_loop(listener, render, routes, stop_flag))
         .expect("spawn metrics thread");
     crate::info!("metrics endpoint listening"; addr = bound);
     Ok(MetricsServer {
@@ -85,11 +158,11 @@ pub fn serve(addr: &str, render: RenderFn) -> std::io::Result<MetricsServer> {
     })
 }
 
-fn accept_loop(listener: TcpListener, render: RenderFn, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, render: RenderFn, routes: RouteFn, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if let Err(e) = handle_request(stream, &render) {
+                if let Err(e) = handle_request(stream, &render, &routes) {
                     crate::debug!("metrics request failed: {e}");
                 }
             }
@@ -104,7 +177,23 @@ fn accept_loop(listener: TcpListener, render: RenderFn, stop: Arc<AtomicBool>) {
     }
 }
 
-fn handle_request(mut stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+fn status_line(status: u16) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Status",
+    };
+    format!("{status} {reason}")
+}
+
+fn handle_request(
+    mut stream: TcpStream,
+    render: &RenderFn,
+    routes: &RouteFn,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     let mut buf = [0u8; 2048];
@@ -128,31 +217,33 @@ fn handle_request(mut stream: TcpStream, render: &RenderFn) -> std::io::Result<(
     let head = String::from_utf8_lossy(&buf[..read]);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "GET only\n".to_string(),
-        )
-    } else if path == "/metrics" || path.starts_with("/metrics?") {
-        (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            render(SinkFormat::Prometheus),
-        )
-    } else if path == "/stats.json" || path == "/json" || path.starts_with("/stats.json?") {
-        ("200 OK", "application/json", render(SinkFormat::Json))
+    let raw_path = parts.next().unwrap_or("");
+    let path = raw_path.split('?').next().unwrap_or("");
+    let reply = if method != "GET" {
+        RouteResponse {
+            status: 405,
+            content_type: "text/plain",
+            body: "GET only\n".to_string(),
+        }
+    } else if let Some(reply) = routes(path) {
+        reply
+    } else if path == "/metrics" {
+        RouteResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render(SinkFormat::Prometheus),
+        }
+    } else if path == "/stats.json" || path == "/json" {
+        RouteResponse::ok_json(render(SinkFormat::Json))
     } else {
-        (
-            "404 Not Found",
-            "text/plain",
-            "routes: /metrics /stats.json\n".to_string(),
-        )
+        RouteResponse::not_found("routes: /metrics /stats.json\n")
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status_line(reply.status),
+        reply.content_type,
+        reply.body.len(),
+        reply.body
     );
     stream.write_all(response.as_bytes())
 }
@@ -191,5 +282,39 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"));
 
         drop(server); // joins the thread; a second bind of the port works
+    }
+
+    #[test]
+    fn caller_routes_control_paths_and_status() {
+        let render: RenderFn = Arc::new(|_| "x 1\n".to_string());
+        let routes: RouteFn = Arc::new(|path| match path {
+            "/healthz" => Some(RouteResponse::ok_text("ok\n")),
+            "/readyz" => Some(RouteResponse::unavailable("draining\n")),
+            p => p
+                .strip_prefix("/debug/trace/")
+                .map(|session| RouteResponse::ok_json(format!("{{\"session\":\"{session}\"}}"))),
+        });
+        let server = serve_routes("127.0.0.1:0", render, routes).expect("bind loopback");
+        let addr = server.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"));
+
+        let ready = get(addr, "/readyz?verbose");
+        assert!(
+            ready.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{ready}"
+        );
+
+        let dump = get(addr, "/debug/trace/kiosk-1");
+        assert!(dump.contains("application/json"));
+        assert!(dump.ends_with("{\"session\":\"kiosk-1\"}"));
+
+        // Built-in sinks still answer when the route fn passes.
+        let text = get(addr, "/metrics");
+        assert!(text.contains("x 1"));
+        let missing = get(addr, "/debug/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
     }
 }

@@ -6,7 +6,8 @@
 //! module defines that boundary for `rfipad::serve`:
 //!
 //! - a 6-byte versioned handshake (`RFIW` + `u16` version), sent by the
-//!   client and echoed by the server before any frame;
+//!   client and answered by the server with the negotiated version (the
+//!   minimum of the two) before any frame;
 //! - frames of `u32` big-endian payload length + payload, where the first
 //!   payload byte is the frame type;
 //! - client → server frames [`Frame::Open`], [`Frame::Batch`] (carrying
@@ -22,6 +23,13 @@
 //! reports what it evicted in a SHED. [`IngestClient`] wraps the exchange
 //! for callers.
 //!
+//! Version 2 adds an **optional trace-context block** to OPEN and BATCH:
+//! a presence byte followed (when present) by a 64-bit trace id and a
+//! 64-bit parent span id, so a client can tie its batches into an
+//! end-to-end trace. The block only exists on the wire when version 2 was
+//! negotiated — a v1 peer's byte stream is bit-identical to before, and a
+//! v2 encoder talking to a v1 server silently drops the context.
+//!
 //! Framing and handshake are transport-agnostic (`Read`/`Write`); only
 //! [`IngestClient::connect`] assumes TCP.
 
@@ -35,8 +43,16 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// Magic bytes opening the handshake in both directions.
 pub const WIRE_MAGIC: [u8; 4] = *b"RFIW";
 
-/// Protocol version this codec speaks.
-pub const WIRE_VERSION: u16 = 1;
+/// Newest protocol version this codec speaks (adds the optional
+/// trace-context block on OPEN/BATCH).
+pub const WIRE_VERSION: u16 = 2;
+
+/// Oldest protocol version this codec still accepts.
+pub const MIN_WIRE_VERSION: u16 = 1;
+
+/// The version without trace context; its frames are bit-identical to the
+/// original protocol.
+pub const WIRE_VERSION_V1: u16 = 1;
 
 /// Byte length of the handshake (magic + version).
 pub const HANDSHAKE_LEN: usize = 6;
@@ -132,6 +148,17 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// Trace context a v2 client attaches to OPEN/BATCH frames: which
+/// end-to-end trace the frame belongs to and the client-side span it
+/// nests under. Plain ids here — `obs::trace` owns the typed view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// 64-bit trace id (0 is reserved and never generated).
+    pub trace: u64,
+    /// 64-bit parent span id.
+    pub parent_span: u64,
+}
+
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -139,6 +166,8 @@ pub enum Frame {
     Open {
         /// Client-chosen session id (scoped to the connection).
         session: String,
+        /// Optional trace context; only on the wire under version ≥ 2.
+        trace: Option<TraceContext>,
     },
     /// Client → server: reports for a session, in the lossless binary
     /// trace record encoding.
@@ -149,6 +178,8 @@ pub enum Frame {
         seq: u32,
         /// The reports.
         reports: ReportBatch,
+        /// Optional trace context; only on the wire under version ≥ 2.
+        trace: Option<TraceContext>,
     },
     /// Client → server: close a session and flush its pipeline.
     Close {
@@ -208,15 +239,24 @@ impl Frame {
     }
 }
 
-/// The 6 handshake bytes each side sends before any frame.
+/// The 6 handshake bytes announcing [`WIRE_VERSION`], the newest version
+/// this codec speaks.
 pub fn handshake_bytes() -> [u8; HANDSHAKE_LEN] {
+    handshake_bytes_for(WIRE_VERSION)
+}
+
+/// The 6 handshake bytes announcing an explicit `version` — what a server
+/// echoes after negotiation, and what a downlevel client sends.
+pub fn handshake_bytes_for(version: u16) -> [u8; HANDSHAKE_LEN] {
     let mut hs = [0u8; HANDSHAKE_LEN];
     hs[..4].copy_from_slice(&WIRE_MAGIC);
-    hs[4..].copy_from_slice(&WIRE_VERSION.to_be_bytes());
+    hs[4..].copy_from_slice(&version.to_be_bytes());
     hs
 }
 
-/// Validates a received handshake and returns the peer's version.
+/// Validates a received handshake and returns the peer's version. Every
+/// version in `MIN_WIRE_VERSION..=WIRE_VERSION` is accepted; the caller
+/// negotiates by answering with `min(peer, WIRE_VERSION)`.
 ///
 /// # Errors
 ///
@@ -231,7 +271,7 @@ pub fn check_handshake(hs: &[u8; HANDSHAKE_LEN]) -> Result<u16, WireError> {
         )));
     }
     let version = u16::from_be_bytes([hs[4], hs[5]]);
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     Ok(version)
@@ -243,16 +283,43 @@ fn put_session(buf: &mut Vec<u8>, session: &str) {
     buf.put_slice(session.as_bytes());
 }
 
-/// Encodes one frame as length prefix + payload, ready to write.
+fn put_trace(buf: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        Some(ctx) => {
+            buf.put_u8(1);
+            buf.put_u64(ctx.trace);
+            buf.put_u64(ctx.parent_span);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Encodes one frame in the version-1 wire form (no trace block) — the
+/// frames are bit-identical to the original protocol, and any trace
+/// context on the frame is dropped.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    encode_frame_v(frame, WIRE_VERSION_V1)
+}
+
+/// Encodes one frame as length prefix + payload in the negotiated
+/// `version`'s wire form, ready to write.
+pub fn encode_frame_v(frame: &Frame, version: u16) -> Vec<u8> {
+    let traced = version >= 2;
     let mut payload = Vec::with_capacity(64);
     payload.put_u8(frame.type_byte());
     match frame {
-        Frame::Open { session } | Frame::Close { session } => put_session(&mut payload, session),
+        Frame::Open { session, trace } => {
+            put_session(&mut payload, session);
+            if traced {
+                put_trace(&mut payload, trace);
+            }
+        }
+        Frame::Close { session } => put_session(&mut payload, session),
         Frame::Batch {
             session,
             seq,
             reports,
+            trace,
         } => {
             put_session(&mut payload, session);
             payload.put_u32(*seq);
@@ -260,6 +327,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             payload.reserve(reports.len() * (4 + BINARY_RECORD_LEN));
             for r in reports.iter() {
                 payload.extend_from_slice(&encode_binary_record(&r));
+            }
+            if traced {
+                put_trace(&mut payload, trace);
             }
         }
         Frame::Ack {
@@ -339,6 +409,19 @@ impl<'a> Cursor<'a> {
             .map_err(|_| WireError::Malformed("session id is not UTF-8".into()))
     }
 
+    fn trace(&mut self) -> Result<Option<TraceContext>, WireError> {
+        match self.take(1, "trace flag")?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(TraceContext {
+                trace: self.u64("trace id")?,
+                parent_span: self.u64("parent span id")?,
+            })),
+            other => Err(WireError::Malformed(format!(
+                "bad trace flag 0x{other:02x}"
+            ))),
+        }
+    }
+
     fn done(&self, what: &str) -> Result<(), WireError> {
         if self.buf.is_empty() {
             Ok(())
@@ -351,18 +434,30 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes one frame payload (the bytes after the length prefix).
+/// Decodes one frame payload in the version-1 wire form (no trace block).
+///
+/// # Errors
+///
+/// As for [`decode_payload_v`].
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    decode_payload_v(payload, WIRE_VERSION_V1)
+}
+
+/// Decodes one frame payload (the bytes after the length prefix) in the
+/// negotiated `version`'s wire form.
 ///
 /// # Errors
 ///
 /// [`WireError::Malformed`] on an unknown type byte, truncated fields,
 /// a record that fails the binary trace decoder, or trailing bytes.
-pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+pub fn decode_payload_v(payload: &[u8], version: u16) -> Result<Frame, WireError> {
+    let traced = version >= 2;
     let mut c = Cursor { buf: payload };
     let ty = c.take(1, "frame type")?[0];
     let frame = match ty {
         FRAME_OPEN => Frame::Open {
             session: c.session()?,
+            trace: if traced { c.trace()? } else { None },
         },
         FRAME_BATCH => {
             let session = c.session()?;
@@ -390,6 +485,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 session,
                 seq,
                 reports,
+                trace: if traced { c.trace()? } else { None },
             }
         }
         FRAME_CLOSE => Frame::Close {
@@ -429,25 +525,52 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-/// Writes one frame to a stream.
+/// Writes one frame to a stream in the version-1 wire form.
 ///
 /// # Errors
 ///
 /// [`WireError::Io`] if the stream dies mid-write.
 pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<(), WireError> {
-    writer.write_all(&encode_frame(frame))?;
+    write_frame_v(writer, frame, WIRE_VERSION_V1)
+}
+
+/// Writes one frame to a stream in the negotiated `version`'s wire form.
+///
+/// # Errors
+///
+/// [`WireError::Io`] if the stream dies mid-write.
+pub fn write_frame_v<W: Write>(
+    writer: &mut W,
+    frame: &Frame,
+    version: u16,
+) -> Result<(), WireError> {
+    writer.write_all(&encode_frame_v(frame, version))?;
     Ok(())
 }
 
-/// Reads one complete frame from a blocking stream. `Ok(None)` is a clean
-/// end of stream (EOF before any prefix byte).
+/// Reads one complete frame in the version-1 wire form.
+///
+/// # Errors
+///
+/// As for [`read_frame_v`].
+pub fn read_frame<R: Read>(reader: &mut R, max_len: usize) -> Result<Option<Frame>, WireError> {
+    read_frame_v(reader, max_len, WIRE_VERSION_V1)
+}
+
+/// Reads one complete frame from a blocking stream in the negotiated
+/// `version`'s wire form. `Ok(None)` is a clean end of stream (EOF before
+/// any prefix byte).
 ///
 /// # Errors
 ///
 /// [`WireError::Malformed`] on a mid-frame EOF or a payload that fails
-/// [`decode_payload`]; [`WireError::FrameTooLarge`] when the declared
+/// [`decode_payload_v`]; [`WireError::FrameTooLarge`] when the declared
 /// length exceeds `max_len`; [`WireError::Io`] on transport faults.
-pub fn read_frame<R: Read>(reader: &mut R, max_len: usize) -> Result<Option<Frame>, WireError> {
+pub fn read_frame_v<R: Read>(
+    reader: &mut R,
+    max_len: usize,
+    version: u16,
+) -> Result<Option<Frame>, WireError> {
     let mut prefix = [0u8; 4];
     let mut filled = 0usize;
     while filled < prefix.len() {
@@ -481,7 +604,7 @@ pub fn read_frame<R: Read>(reader: &mut R, max_len: usize) -> Result<Option<Fram
             Err(e) => return Err(e.into()),
         }
     }
-    decode_payload(&payload).map(Some)
+    decode_payload_v(&payload, version).map(Some)
 }
 
 /// What a [`Frame::Ack`] or [`Frame::Shed`] response said about one
@@ -513,6 +636,7 @@ pub struct Delivery {
 pub struct IngestClient<S: Read + Write = TcpStream> {
     stream: S,
     max_frame_len: usize,
+    version: u16,
 }
 
 impl IngestClient<TcpStream> {
@@ -532,13 +656,25 @@ impl IngestClient<TcpStream> {
 
 impl<S: Read + Write> IngestClient<S> {
     /// Performs the client side of the handshake on an established
-    /// bidirectional stream.
+    /// bidirectional stream, announcing [`WIRE_VERSION`] and adopting
+    /// whatever version the server negotiates down to.
     ///
     /// # Errors
     ///
     /// As for [`IngestClient::connect`].
-    pub fn from_stream(mut stream: S) -> Result<Self, WireError> {
-        stream.write_all(&handshake_bytes())?;
+    pub fn from_stream(stream: S) -> Result<Self, WireError> {
+        Self::from_stream_versioned(stream, WIRE_VERSION)
+    }
+
+    /// Performs the handshake announcing an explicit `version` — how a
+    /// test impersonates a downlevel (v1) client.
+    ///
+    /// # Errors
+    ///
+    /// As for [`IngestClient::connect`], plus [`WireError::Malformed`] if
+    /// the server "negotiates" a version above the one announced.
+    pub fn from_stream_versioned(mut stream: S, version: u16) -> Result<Self, WireError> {
+        stream.write_all(&handshake_bytes_for(version))?;
         let mut hs = [0u8; HANDSHAKE_LEN];
         stream.read_exact(&mut hs).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -547,23 +683,35 @@ impl<S: Read + Write> IngestClient<S> {
                 e.into()
             }
         })?;
-        check_handshake(&hs)?;
+        let negotiated = check_handshake(&hs)?;
+        if negotiated > version {
+            return Err(WireError::Malformed(format!(
+                "server negotiated version {negotiated} above the announced {version}"
+            )));
+        }
         Ok(Self {
             stream,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            version: negotiated,
         })
     }
 
-    /// Sends one frame and reads the server's response.
+    /// The wire version negotiated during the handshake.
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Sends one frame and reads the server's response, both in the
+    /// negotiated version's wire form.
     ///
     /// # Errors
     ///
-    /// Transport and codec faults as in [`write_frame`] / [`read_frame`];
-    /// a server that hangs up instead of responding is
+    /// Transport and codec faults as in [`write_frame_v`] /
+    /// [`read_frame_v`]; a server that hangs up instead of responding is
     /// [`WireError::Malformed`].
     pub fn round_trip(&mut self, frame: &Frame) -> Result<Frame, WireError> {
-        write_frame(&mut self.stream, frame)?;
-        match read_frame(&mut self.stream, self.max_frame_len)? {
+        write_frame_v(&mut self.stream, frame, self.version)?;
+        match read_frame_v(&mut self.stream, self.max_frame_len, self.version)? {
             Some(response) => Ok(response),
             None => Err(WireError::Malformed(
                 "server closed instead of responding".into(),
@@ -578,8 +726,23 @@ impl<S: Read + Write> IngestClient<S> {
     /// A server-side rejection (duplicate id, engine fault) surfaces as
     /// [`WireError::Remote`].
     pub fn open(&mut self, session: &str) -> Result<(), WireError> {
+        self.open_traced(session, None)
+    }
+
+    /// Opens a session carrying trace context (dropped on the wire if the
+    /// negotiated version predates tracing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`IngestClient::open`].
+    pub fn open_traced(
+        &mut self,
+        session: &str,
+        trace: Option<TraceContext>,
+    ) -> Result<(), WireError> {
         let response = self.round_trip(&Frame::Open {
             session: session.into(),
+            trace,
         })?;
         match response {
             Frame::Ack { .. } => Ok(()),
@@ -600,10 +763,27 @@ impl<S: Read + Write> IngestClient<S> {
         seq: u32,
         reports: ReportBatch,
     ) -> Result<Delivery, WireError> {
+        self.send_batch_traced(session, seq, reports, None)
+    }
+
+    /// Delivers one batch carrying trace context (dropped on the wire if
+    /// the negotiated version predates tracing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`IngestClient::send_batch`].
+    pub fn send_batch_traced(
+        &mut self,
+        session: &str,
+        seq: u32,
+        reports: ReportBatch,
+        trace: Option<TraceContext>,
+    ) -> Result<Delivery, WireError> {
         let response = self.round_trip(&Frame::Batch {
             session: session.into(),
             seq,
             reports,
+            trace,
         })?;
         match response {
             Frame::Ack {
@@ -705,6 +885,13 @@ mod tests {
     fn handshake_round_trips_and_rejects() {
         let hs = handshake_bytes();
         assert_eq!(check_handshake(&hs).expect("valid"), WIRE_VERSION);
+        // Every still-supported version is accepted for negotiation.
+        for v in MIN_WIRE_VERSION..=WIRE_VERSION {
+            assert_eq!(
+                check_handshake(&handshake_bytes_for(v)).expect("supported"),
+                v
+            );
+        }
         let mut bad_magic = hs;
         bad_magic[0] = b'X';
         assert!(matches!(
@@ -717,6 +904,65 @@ mod tests {
             check_handshake(&bad_version),
             Err(WireError::UnsupportedVersion(99))
         ));
+        assert!(matches!(
+            check_handshake(&handshake_bytes_for(0)),
+            Err(WireError::UnsupportedVersion(0))
+        ));
+    }
+
+    #[test]
+    fn v2_round_trips_trace_context_and_v1_stays_bit_identical() {
+        let ctx = TraceContext {
+            trace: 0x0123_4567_89ab_cdef,
+            parent_span: 0xfeed_face_cafe_beef,
+        };
+        let open = Frame::Open {
+            session: "pad-1".into(),
+            trace: Some(ctx),
+        };
+        let batch = Frame::Batch {
+            session: "pad-1".into(),
+            seq: 9,
+            reports: (0..3).map(sample_report).collect(),
+            trace: Some(ctx),
+        };
+        for frame in [open.clone(), batch.clone()] {
+            // v2 carries the context through.
+            let bytes = encode_frame_v(&frame, 2);
+            assert_eq!(decode_payload_v(&bytes[4..], 2).expect("decodes v2"), frame);
+            // v1 encoding drops it and is bit-identical to encoding the
+            // same frame without any context — old peers see old bytes.
+            let mut untraced = frame.clone();
+            match &mut untraced {
+                Frame::Open { trace, .. } | Frame::Batch { trace, .. } => *trace = None,
+                _ => unreachable!(),
+            }
+            assert_eq!(encode_frame_v(&frame, 1), encode_frame(&untraced));
+            assert_eq!(
+                decode_payload(&encode_frame_v(&frame, 1)[4..]).expect("decodes v1"),
+                untraced
+            );
+        }
+        // An absent context in v2 is one flag byte, still round-trips.
+        let bare = Frame::Open {
+            session: "pad-2".into(),
+            trace: None,
+        };
+        let bytes = encode_frame_v(&bare, 2);
+        assert_eq!(bytes.len(), encode_frame(&bare).len() + 1);
+        assert_eq!(decode_payload_v(&bytes[4..], 2).expect("decodes"), bare);
+        // A v2 payload fed to a v1 decoder has trailing bytes — typed error.
+        assert!(matches!(
+            decode_payload(&encode_frame_v(&open, 2)[4..]),
+            Err(WireError::Malformed(_))
+        ));
+        // A bad flag byte is typed, not a panic.
+        let mut bytes = encode_frame_v(&bare, 2)[4..].to_vec();
+        *bytes.last_mut().expect("flag byte") = 7;
+        assert!(matches!(
+            decode_payload_v(&bytes, 2),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -725,11 +971,13 @@ mod tests {
         for frame in [
             Frame::Open {
                 session: "pad-α".into(),
+                trace: None,
             },
             Frame::Batch {
                 session: "pad-1".into(),
                 seq: 42,
                 reports: reports.clone(),
+                trace: None,
             },
             Frame::Close {
                 session: String::new(),
@@ -765,6 +1013,7 @@ mod tests {
             session: "bits".into(),
             seq: 1,
             reports: reports.iter().copied().collect(),
+            trace: None,
         };
         match round_trip(frame) {
             Frame::Batch {
@@ -788,6 +1037,7 @@ mod tests {
             session: "t".into(),
             seq: 1,
             reports: (0..3).map(sample_report).collect(),
+            trace: None,
         });
         // Every proper prefix of the payload fails with Malformed — never
         // panics, never decodes.

@@ -179,9 +179,13 @@ impl EngineBuilder {
     /// Serve the process-global metrics registry over HTTP on `addr`
     /// (e.g. `"127.0.0.1:9184"`; port 0 picks an ephemeral port). Off by
     /// default. `GET /metrics` returns Prometheus text exposition,
-    /// `GET /stats.json` the engine's JSON snapshot. The endpoint is
-    /// unauthenticated — bind it to loopback unless the network is
-    /// trusted (see DESIGN.md §Observability).
+    /// `GET /stats.json` the engine's JSON snapshot, `GET /healthz` /
+    /// `GET /readyz` answer liveness and readiness probes (`/readyz` is
+    /// 503 while shutting down or while a session queue is saturated),
+    /// `GET /debug/journal` dumps the recent log journal, and
+    /// `GET /debug/trace/<session>` dumps a session's flight recorder.
+    /// The endpoint is unauthenticated — bind it to loopback unless the
+    /// network is trusted (see DESIGN.md §Observability).
     pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
         self.metrics_addr = Some(addr.into());
         self
@@ -221,7 +225,10 @@ impl EngineBuilder {
             let shared = Arc::clone(&engine.shared);
             let render: obs::serve::RenderFn =
                 Arc::new(move |format| render_metrics(&shared, format));
-            let server = obs::serve::serve(&addr, render).map_err(|e| {
+            let routes_shared = Arc::clone(&engine.shared);
+            let routes: obs::serve::RouteFn =
+                Arc::new(move |path| probe_routes(&routes_shared, path));
+            let server = obs::serve::serve_routes(&addr, render, routes).map_err(|e| {
                 RfipadError::invalid_field(
                     "EngineBuilder",
                     "metrics_addr",
@@ -249,7 +256,11 @@ struct Counters {
 /// histogram: an *unregistered* [`obs::Histogram`] keeps the exact
 /// per-session percentile window (same sliding window and percentile
 /// formula as before the obs migration), while the process-global
-/// `rfipad_engine_push_latency_us` family aggregates across sessions.
+/// `rfipad_engine_push_latency_ns` family aggregates across sessions.
+///
+/// Latencies are recorded in *nanoseconds*: single-report pushes routinely
+/// finish in a few hundred nanoseconds, which microsecond resolution
+/// flattened to a meaningless `p50 = 0`.
 #[derive(Debug)]
 struct LatencyRecorder {
     hist: obs::Histogram,
@@ -258,37 +269,37 @@ struct LatencyRecorder {
 impl LatencyRecorder {
     fn new() -> Self {
         Self {
-            hist: obs::Histogram::new(obs::metrics::DEFAULT_DURATION_BOUNDS_US),
+            hist: obs::Histogram::new(obs::metrics::DEFAULT_DURATION_BOUNDS_NS),
         }
     }
 
     fn record(&self, elapsed: Duration) {
-        self.hist.record_duration(elapsed);
+        self.hist.record_duration_ns(elapsed);
     }
 
     fn snapshot(&self) -> LatencySnapshot {
         let snap = self.hist.snapshot();
         LatencySnapshot {
             count: snap.count,
-            p50_us: snap.p50,
-            p99_us: snap.p99,
-            max_us: snap.max,
+            p50_ns: snap.p50,
+            p99_ns: snap.p99,
+            max_ns: snap.max,
         }
     }
 }
 
 /// Percentiles over the most recent push latencies of a session
-/// (microseconds, over a sliding window of the last 4096 pushes).
+/// (nanoseconds, over a sliding window of the last 4096 pushes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySnapshot {
     /// Pushes measured over the session's lifetime.
     pub count: u64,
-    /// Median push latency, µs.
-    pub p50_us: u64,
-    /// 99th-percentile push latency, µs.
-    pub p99_us: u64,
-    /// Worst push latency seen over the lifetime, µs.
-    pub max_us: u64,
+    /// Median push latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile push latency, ns.
+    pub p99_ns: u64,
+    /// Worst push latency seen over the lifetime, ns.
+    pub max_ns: u64,
 }
 
 /// Mutable per-session state, only ever touched under its mutex.
@@ -312,17 +323,39 @@ struct SessionState {
 /// effective report capacity by the batch size — that is the amortization:
 /// one channel round-trip, one lock acquisition, and one latency record
 /// cover the whole batch.
-enum QueueItem {
+struct QueueItem {
+    payload: QueuePayload,
+    /// Enqueue stamp for the `rfipad_hop_seconds{hop=queue}` wait
+    /// measurement; `None` with telemetry off, so a dark replay never
+    /// reads the clock on the feed path.
+    enqueued: Option<Instant>,
+}
+
+enum QueuePayload {
     One(TagReport),
     Batch(ReportBatch),
 }
 
 impl QueueItem {
+    fn one(report: TagReport) -> Self {
+        Self {
+            payload: QueuePayload::One(report),
+            enqueued: obs::telemetry_on().then(Instant::now),
+        }
+    }
+
+    fn batch(batch: ReportBatch) -> Self {
+        Self {
+            payload: QueuePayload::Batch(batch),
+            enqueued: obs::telemetry_on().then(Instant::now),
+        }
+    }
+
     /// Reports carried by the item (for drop accounting).
     fn reports(&self) -> usize {
-        match self {
-            QueueItem::One(_) => 1,
-            QueueItem::Batch(b) => b.len(),
+        match &self.payload {
+            QueuePayload::One(_) => 1,
+            QueuePayload::Batch(b) => b.len(),
         }
     }
 }
@@ -399,18 +432,22 @@ fn schedule(shared: &Shared, sess: &Arc<SessionInner>) -> Result<(), RfipadError
 fn drain_session(shared: &Shared, sess: &SessionInner) {
     let em = crate::telemetry::engine_metrics();
     while let Ok(item) = sess.queue_rx.try_recv() {
+        let queue_wait = item.enqueued.map(|at| at.elapsed());
         let t0 = Instant::now();
         let n_in = item.reports() as u64;
         let mut state = sess.state.lock().expect("session state poisoned");
+        if let Some(wait) = queue_wait {
+            record_queue_hop(&state, wait);
+        }
         let SessionState { graph, scratch, .. } = &mut *state;
-        match item {
-            QueueItem::One(report) => graph.push_into(report, scratch),
-            QueueItem::Batch(batch) => graph.push_batch(batch.iter(), scratch),
+        match item.payload {
+            QueuePayload::One(report) => graph.push_into(report, scratch),
+            QueuePayload::Batch(batch) => graph.push_batch(batch.iter(), scratch),
         }
         state.processed += n_in;
         let elapsed = t0.elapsed();
         state.latency.record(elapsed);
-        em.push_latency.record_duration(elapsed);
+        em.push_latency.record_duration_ns(elapsed);
         let n = state.scratch.len() as u64;
         sess.counters.events_out.fetch_add(n, Ordering::Relaxed);
         shared.totals.events_out.fetch_add(n, Ordering::Relaxed);
@@ -435,6 +472,34 @@ fn drain_session(shared: &Shared, sess: &SessionInner) {
         drop(state);
         sess.done.notify_all();
     }
+}
+
+/// Records one item's queue wait: the `rfipad_hop_seconds{hop=queue}`
+/// histogram always, and — for trace-bound sessions, on sampled items — a
+/// `queue` span in the session's flight recorder.
+fn record_queue_hop(state: &SessionState, wait: Duration) {
+    crate::telemetry::hop_metrics()
+        .queue
+        .record_duration_ns(wait);
+    let Some(tr) = state.graph.trace_binding() else {
+        return;
+    };
+    if !obs::trace::sampler().sample() {
+        return;
+    }
+    let end_us = tr.recorder.now_us();
+    let start_us = end_us.saturating_sub(wait.as_micros().min(u128::from(u64::MAX)) as u64);
+    obs::trace::finish_span(
+        &tr.recorder,
+        obs::trace::SpanEvent {
+            trace: tr.trace,
+            span: obs::trace::next_span_id(),
+            parent: Some(tr.parent),
+            name: "queue".into(),
+            start_us,
+            end_us,
+        },
+    );
 }
 
 fn worker_loop(shared: Arc<Shared>, mailbox: Receiver<Arc<SessionInner>>) {
@@ -736,8 +801,8 @@ impl Engine {
         if self.shared.down.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.metrics = None; // stop serving before the flush
-
+        // The endpoint stays up through the flush so `/readyz` reports
+        // "shutting down" (503) while sessions drain; it stops below.
         let drained: Vec<Arc<SessionInner>> = {
             let mut sessions = self.shared.sessions.lock().expect("session map poisoned");
             sessions.drain().map(|(_, s)| s).collect()
@@ -759,6 +824,7 @@ impl Engine {
                 remove_session_series(&sess.id);
             }
         }
+        self.metrics = None; // flush done: stop serving
         obs::info!("engine shut down"; sessions_flushed = drained.len());
         // Closing the mailboxes ends the worker loops.
         self.shared
@@ -848,6 +914,83 @@ fn remove_session_series(id: &str) {
     }
 }
 
+/// Queue saturation watermark for readiness, percent of the configured
+/// per-session queue capacity: a session queued beyond this flips
+/// `/readyz` to 503 so a load balancer can stop routing new work here.
+const READY_QUEUE_WATERMARK_PCT: usize = 90;
+
+/// Answers the health and debug routes of the metrics endpoint:
+/// `/healthz` (process liveness), `/readyz` (engine accepting and queues
+/// below the watermark), `/debug/journal` (recent log events as JSON),
+/// and `/debug/trace/<session>` (a session's flight-recorder dump).
+fn probe_routes(shared: &Shared, path: &str) -> Option<obs::serve::RouteResponse> {
+    use obs::serve::RouteResponse;
+    match path {
+        "/healthz" => Some(RouteResponse::ok_text("ok\n")),
+        "/readyz" => Some(readyz(shared)),
+        "/debug/journal" => Some(RouteResponse::ok_json(obs::logging::journal_json())),
+        _ => path.strip_prefix("/debug/trace/").map(|raw| {
+            let session = percent_decode(raw);
+            match obs::trace::lookup(&session) {
+                Some(rec) => RouteResponse::ok_json(rec.to_json()),
+                None => RouteResponse::not_found(format!(
+                    "no flight recorder for session {session:?}\n"
+                )),
+            }
+        }),
+    }
+}
+
+/// Decodes `%XX` escapes in a debug-route path segment: every served
+/// session's engine id is `c<conn>#<session>`, and `#` must be quoted as
+/// `%23` to survive a URL path.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let decoded = (bytes[i] == b'%' && i + 2 < bytes.len())
+            .then(|| {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok()?;
+                u8::from_str_radix(hex, 16).ok()
+            })
+            .flatten();
+        match decoded {
+            Some(b) => {
+                out.push(b);
+                i += 3;
+            }
+            None => {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The readiness probe: 503 once shutdown began, or while any session's
+/// queue is past the saturation watermark; 200 otherwise.
+fn readyz(shared: &Shared) -> obs::serve::RouteResponse {
+    use obs::serve::RouteResponse;
+    if shared.down.load(Ordering::SeqCst) {
+        return RouteResponse::unavailable("engine shutting down\n");
+    }
+    let capacity = shared.config.queue_capacity;
+    let watermark = capacity * READY_QUEUE_WATERMARK_PCT / 100;
+    let sessions = shared.sessions.lock().expect("session map poisoned");
+    for sess in sessions.values() {
+        let depth = sess.queue_rx.len();
+        if depth > watermark {
+            return RouteResponse::unavailable(format!(
+                "session {:?} queue saturated: {depth} of {capacity} slots\n",
+                sess.id
+            ));
+        }
+    }
+    RouteResponse::ok_text("ready\n")
+}
+
 /// Renders one of the two sinks with this engine's session gauges fresh.
 fn render_metrics(shared: &Shared, format: obs::serve::SinkFormat) -> String {
     refresh_session_gauges(shared);
@@ -886,7 +1029,7 @@ fn stats_json(shared: &Shared) -> String {
             "{{\"id\":\"{}\",\"worker\":{},\"reports_in\":{},\"reports_dropped\":{},\
              \"events_out\":{},\"out_of_order\":{},\"pending_events\":{},\
              \"queue_depth\":{},\"closed\":{},\"push_latency\":{{\"count\":{},\
-             \"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}}}",
+             \"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}}}",
             obs::expo::escape_json(&s.id),
             s.worker,
             s.reports_in,
@@ -897,9 +1040,9 @@ fn stats_json(shared: &Shared) -> String {
             s.queue_depth,
             s.closed,
             s.push_latency.count,
-            s.push_latency.p50_us,
-            s.push_latency.p99_us,
-            s.push_latency.max_us,
+            s.push_latency.p50_ns,
+            s.push_latency.p99_ns,
+            s.push_latency.max_ns,
         );
     }
     out.push_str("]},\"metrics\":");
@@ -1117,7 +1260,7 @@ impl SessionHandle {
     /// [`RfipadError::SessionClosed`] once the session was closed or
     /// evicted; [`RfipadError::EngineDown`] after engine shutdown.
     pub fn ingest(&self, report: TagReport) -> Result<IngestReceipt, RfipadError> {
-        self.ingest_item(QueueItem::One(report))
+        self.ingest_item(QueueItem::one(report))
     }
 
     /// Ingests a whole batch as one queue item: one channel round-trip,
@@ -1136,7 +1279,7 @@ impl SessionHandle {
     ///
     /// As for [`SessionHandle::ingest`].
     pub fn ingest_batch(&self, batch: ReportBatch) -> Result<IngestReceipt, RfipadError> {
-        self.ingest_item(QueueItem::Batch(batch))
+        self.ingest_item(QueueItem::batch(batch))
     }
 
     fn ingest_item(&self, item: QueueItem) -> Result<IngestReceipt, RfipadError> {
@@ -1257,45 +1400,21 @@ impl SessionHandle {
         }
     }
 
-    /// Deprecated name for [`SessionHandle::ingest`] (which also reports
-    /// what happened via [`IngestReceipt`]).
-    #[deprecated(since = "0.1.0", note = "use `ingest`, which returns an IngestReceipt")]
-    pub fn feed(&self, report: TagReport) -> Result<(), RfipadError> {
-        self.ingest(report).map(|_| ())
-    }
-
-    /// Deprecated name for [`SessionHandle::ingest_batch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ingest_batch`, which returns an IngestReceipt"
-    )]
-    pub fn feed_batch(&self, batch: ReportBatch) -> Result<usize, RfipadError> {
-        self.ingest_batch(batch).map(|r| r.accepted as usize)
-    }
-
-    /// Deprecated name for a per-report
-    /// [`SessionHandle::ingest_source_batched`] drain.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ingest_source` / `ingest_source_batched`, which return an IngestReceipt"
-    )]
-    pub fn feed_source(&self, source: &mut dyn ReportSource) -> Result<usize, RfipadError> {
-        self.ingest_source_batched(source, 1)
-            .map(|r| r.accepted as usize)
-    }
-
-    /// Deprecated name for [`SessionHandle::ingest_source_batched`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ingest_source_batched`, which returns an IngestReceipt"
-    )]
-    pub fn feed_source_batched(
+    /// Binds the session's stage graph to a trace: sampled stage pushes
+    /// and queue waits then emit child spans into `recorder`, parented
+    /// under `parent`. Installed by the serving layer at OPEN time.
+    pub(crate) fn bind_trace(
         &self,
-        source: &mut dyn ReportSource,
-        batch_size: usize,
-    ) -> Result<usize, RfipadError> {
-        self.ingest_source_batched(source, batch_size)
-            .map(|r| r.accepted as usize)
+        recorder: Arc<obs::trace::FlightRecorder>,
+        trace: obs::trace::TraceId,
+        parent: obs::trace::SpanId,
+    ) {
+        let mut state = self.inner.state.lock().expect("session state poisoned");
+        state.graph.bind_trace(Some(crate::stage::StageTrace {
+            recorder,
+            trace,
+            parent,
+        }));
     }
 
     /// Collects the events produced so far (recognitions already drained
@@ -1899,8 +2018,8 @@ mod tests {
         loop {
             let stats = session.stats();
             if stats.queue_depth == 0 && stats.push_latency.count == 50 {
-                assert!(stats.push_latency.p50_us <= stats.push_latency.p99_us);
-                assert!(stats.push_latency.p99_us <= stats.push_latency.max_us);
+                assert!(stats.push_latency.p50_ns <= stats.push_latency.p99_ns);
+                assert!(stats.push_latency.p99_ns <= stats.push_latency.max_ns);
                 assert_eq!(stats.reports_in, 50);
                 break;
             }
@@ -1918,9 +2037,76 @@ mod tests {
         }
         let snap = rec.snapshot();
         assert_eq!(snap.count, 10);
-        assert_eq!(snap.max_us, 100);
-        assert!(snap.p50_us <= snap.p99_us);
-        assert!(snap.p99_us <= snap.max_us);
+        assert_eq!(snap.max_ns, 100_000);
+        assert!(snap.p50_ns <= snap.p99_ns);
+        assert!(snap.p99_ns <= snap.max_ns);
+    }
+
+    #[test]
+    fn probes_transition_with_engine_state() {
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let shared = Arc::clone(&engine.shared);
+        let probe = |path: &str| probe_routes(&shared, path).expect("routed");
+        assert_eq!(probe("/healthz").status, 200);
+        assert_eq!(probe("/healthz").body, "ok\n");
+        assert_eq!(probe("/readyz").status, 200);
+        assert_eq!(probe("/readyz").body, "ready\n");
+        let journal = probe("/debug/journal");
+        assert_eq!(journal.status, 200);
+        assert!(
+            journal.body.starts_with("{\"entries\":["),
+            "{}",
+            journal.body
+        );
+        // The session id is %-decoded: `%23` names `c<conn>#<session>`.
+        let missing = probe("/debug/trace/c9%23nope");
+        assert_eq!(missing.status, 404);
+        assert!(missing.body.contains("c9#nope"), "{}", missing.body);
+        assert!(probe_routes(&shared, "/metrics").is_none());
+
+        engine.shutdown();
+        // Liveness stays green after shutdown; readiness does not.
+        assert_eq!(probe("/healthz").status, 200);
+        let down = probe("/readyz");
+        assert_eq!(down.status, 503);
+        assert!(down.body.contains("shutting down"), "{}", down.body);
+    }
+
+    #[test]
+    fn readyz_reports_saturated_queues() {
+        let engine = Engine::builder()
+            .workers(1)
+            .queue_capacity(4)
+            .backpressure(Backpressure::DropOldest)
+            .build()
+            .expect("engine");
+        let session = engine.open_session("busy", quiet_pipeline()).expect("open");
+        let inner = engine
+            .shared
+            .sessions
+            .lock()
+            .expect("session map")
+            .get("busy")
+            .cloned()
+            .expect("inner");
+        {
+            // Stall the one worker by holding the session's state lock,
+            // then flood: the queue saturates past the 90% watermark.
+            let _stall = inner.state.lock().expect("state");
+            for r in quiet_reports(16) {
+                session.ingest(r).expect("ingest");
+            }
+            let busy = readyz(&engine.shared);
+            assert_eq!(busy.status, 503);
+            assert!(busy.body.contains("saturated"), "{}", busy.body);
+        }
+        // Released: the worker drains and readiness recovers.
+        while session.stats().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(readyz(&engine.shared).status, 200);
+        session.close().expect("close");
+        engine.shutdown();
     }
 
     #[test]
@@ -2069,43 +2255,42 @@ mod tests {
         assert!(matches!(session.checkpoint(), Err(RfipadError::EngineDown)));
     }
 
-    /// The `feed*` names survive as thin forwarders; this is the one
-    /// place in the repo that still calls them.
+    /// Every ingest entry point — per-report, batched, and both source
+    /// drains — replays the golden recording to identical events.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_feed_forwarders_match_ingest() {
+    fn ingest_entry_points_match_serial_replay() {
         let expected = serial_events();
         let engine = Engine::builder().workers(1).build().expect("engine");
-        let session = engine.open_session("legacy", pipeline()).expect("open");
+        let session = engine.open_session("mixed", pipeline()).expect("open");
         let reports = recording();
         let (head, tail) = reports.split_at(reports.len() / 2);
         for o in head {
-            session.feed(*o).expect("feed");
+            session.ingest(*o).expect("ingest");
         }
-        let fed = session
-            .feed_batch(tail.iter().copied().collect())
-            .expect("feed_batch");
-        assert_eq!(fed, tail.len());
+        let receipt = session
+            .ingest_batch(tail.iter().copied().collect())
+            .expect("ingest_batch");
+        assert_eq!(receipt.accepted, tail.len() as u64);
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
         assert_eq!(events, expected);
 
-        let session = engine.open_session("legacy-src", pipeline()).expect("open");
-        let fed = session
-            .feed_source(&mut LiveSource::new(recording()))
-            .expect("feed_source");
-        assert_eq!(fed, recording().len());
+        let session = engine.open_session("src", pipeline()).expect("open");
+        let receipt = session
+            .ingest_source(&mut LiveSource::new(recording()))
+            .expect("ingest_source");
+        assert_eq!(receipt.accepted, recording().len() as u64);
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
         assert_eq!(events, expected);
 
         let session = engine
-            .open_session("legacy-batched", pipeline())
+            .open_session("src-batched", pipeline())
             .expect("open");
-        let fed = session
-            .feed_source_batched(&mut LiveSource::new(recording()), 32)
-            .expect("feed_source_batched");
-        assert_eq!(fed, recording().len());
+        let receipt = session
+            .ingest_source_batched(&mut LiveSource::new(recording()), 32)
+            .expect("ingest_source_batched");
+        assert_eq!(receipt.accepted, recording().len() as u64);
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
         assert_eq!(events, expected);

@@ -47,9 +47,9 @@ use crate::error::RfipadError;
 use crate::pipeline::{OnlinePipeline, PipelineEvent};
 use crate::telemetry::serve_metrics;
 use rfid_gen2::wire::{
-    check_handshake, decode_payload, encode_frame, handshake_bytes, Frame, WireError,
-    DEFAULT_MAX_FRAME_LEN, ERR_ENGINE, ERR_MALFORMED, ERR_SESSION_EXISTS, ERR_TOO_LARGE,
-    ERR_UNKNOWN_SESSION, ERR_UNSUPPORTED_VERSION, HANDSHAKE_LEN,
+    check_handshake, decode_payload_v, encode_frame_v, handshake_bytes_for, Frame, TraceContext,
+    WireError, DEFAULT_MAX_FRAME_LEN, ERR_ENGINE, ERR_MALFORMED, ERR_SESSION_EXISTS, ERR_TOO_LARGE,
+    ERR_UNKNOWN_SESSION, ERR_UNSUPPORTED_VERSION, HANDSHAKE_LEN, WIRE_VERSION,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -428,6 +428,27 @@ struct Connection {
     frames_gauge: Arc<obs::Gauge>,
     sessions_gauge: Arc<obs::Gauge>,
     frames_seen: u64,
+    /// Wire version negotiated at handshake time: the minimum of the
+    /// peer's advertised version and ours. Frames are decoded and
+    /// encoded under this version for the connection's whole life.
+    version: u16,
+    /// Root-span bookkeeping per open session (only populated while
+    /// telemetry is enabled).
+    traces: HashMap<String, SessionTrace>,
+    /// Wire-decode time of the most recent frame, consumed by the next
+    /// dispatch that wants a `decode` hop span.
+    last_decode: Option<Duration>,
+}
+
+/// Trace state for one served session: the root span opened at OPEN and
+/// closed when the session's events reach the sink.
+struct SessionTrace {
+    recorder: Arc<obs::trace::FlightRecorder>,
+    trace: obs::trace::TraceId,
+    root: obs::trace::SpanId,
+    /// Parent carried in from the client's wire trace context, if any.
+    root_parent: Option<obs::trace::SpanId>,
+    opened_us: u64,
 }
 
 /// Per-connection gauge families (`conn`-labelled).
@@ -456,6 +477,9 @@ impl Connection {
             frames_gauge,
             sessions_gauge,
             frames_seen: 0,
+            version: WIRE_VERSION,
+            traces: HashMap::new(),
+            last_decode: None,
         }
     }
 
@@ -508,7 +532,11 @@ impl Connection {
             _ => return false,
         }
         match check_handshake(&hs) {
-            Ok(_) => {}
+            Ok(peer) => {
+                // Speak the highest version both sides understand; v1
+                // peers keep a bit-identical wire exchange.
+                self.version = peer.min(WIRE_VERSION);
+            }
             Err(WireError::UnsupportedVersion(v)) => {
                 obs::warn!("ingest handshake version rejected"; conn = self.id, version = v);
                 self.respond(&Frame::Error {
@@ -523,7 +551,9 @@ impl Connection {
                 return false;
             }
         }
-        self.stream.write_all(&handshake_bytes()).is_ok()
+        self.stream
+            .write_all(&handshake_bytes_for(self.version))
+            .is_ok()
     }
 
     /// Reads one frame, answering protocol faults in-line. `None` ends
@@ -580,8 +610,15 @@ impl Connection {
                 return None;
             }
         }
-        match decode_payload(&payload) {
-            Ok(frame) => Some(frame),
+        let decode_t0 = obs::telemetry_on().then(Instant::now);
+        match decode_payload_v(&payload, self.version) {
+            Ok(frame) => {
+                self.last_decode = decode_t0.map(|t| t.elapsed());
+                if let Some(d) = self.last_decode {
+                    crate::telemetry::hop_metrics().decode.record_duration_ns(d);
+                }
+                Some(frame)
+            }
             Err(e) => {
                 self.respond(&Frame::Error {
                     code: ERR_MALFORMED,
@@ -595,12 +632,13 @@ impl Connection {
     /// Handles one decoded frame. `false` ends the connection.
     fn dispatch(&mut self, frame: Frame) -> bool {
         match frame {
-            Frame::Open { session } => self.handle_open(session),
+            Frame::Open { session, trace } => self.handle_open(session, trace),
             Frame::Batch {
                 session,
                 seq,
                 reports,
-            } => self.handle_batch(session, seq, reports),
+                trace,
+            } => self.handle_batch(session, seq, reports, trace),
             Frame::Close { session } => self.handle_close(session),
             other => {
                 // Server-to-client frame types are not requests.
@@ -616,7 +654,112 @@ impl Connection {
         }
     }
 
-    fn handle_open(&mut self, session: String) -> bool {
+    /// Starts the session's root trace span and binds a flight recorder
+    /// into its stage graph. A no-op while telemetry is disabled, so the
+    /// frozen-clock replay configuration is untouched.
+    fn begin_trace(&mut self, session: &str, ctx: Option<TraceContext>) {
+        if !obs::telemetry_on() {
+            return;
+        }
+        let engine_id = self.engine_id(session);
+        let recorder = obs::trace::recorder(&engine_id);
+        let trace = ctx
+            .as_ref()
+            .filter(|c| c.trace != 0)
+            .map(|c| obs::trace::TraceId(c.trace))
+            .unwrap_or_else(obs::trace::next_trace_id);
+        let root_parent = ctx
+            .as_ref()
+            .filter(|c| c.parent_span != 0)
+            .map(|c| obs::trace::SpanId(c.parent_span));
+        let root = obs::trace::next_span_id();
+        if let Some(handle) = self.sessions.get(session) {
+            handle.bind_trace(Arc::clone(&recorder), trace, root);
+        }
+        let opened_us = recorder.now_us();
+        self.traces.insert(
+            session.to_owned(),
+            SessionTrace {
+                recorder,
+                trace,
+                root,
+                root_parent,
+                opened_us,
+            },
+        );
+    }
+
+    /// Records the `decode` hop as a child span of the session's root,
+    /// consuming the decode time stamped by `read_request`.
+    fn record_decode_span(&mut self, session: &str, ctx: Option<TraceContext>) {
+        let Some(d) = self.last_decode.take() else {
+            return;
+        };
+        let Some(tr) = self.traces.get(session) else {
+            return;
+        };
+        if !obs::trace::sampler().sample() {
+            return;
+        }
+        // The batch may carry its own parent span from the client; fall
+        // back to the session root when it does not.
+        let parent = ctx
+            .as_ref()
+            .filter(|c| c.parent_span != 0)
+            .map(|c| obs::trace::SpanId(c.parent_span))
+            .unwrap_or(tr.root);
+        let end_us = tr.recorder.now_us();
+        obs::trace::finish_span(
+            &tr.recorder,
+            obs::trace::SpanEvent {
+                trace: tr.trace,
+                span: obs::trace::next_span_id(),
+                parent: Some(parent),
+                name: "decode".to_owned(),
+                start_us: end_us.saturating_sub(d.as_micros() as u64),
+                end_us,
+            },
+        );
+    }
+
+    /// Delivers a closed session's events to the sink, timing the emit
+    /// hop and closing the session's root span.
+    fn deliver(&mut self, session: &str, engine_id: &str, events: Vec<crate::PipelineEvent>) {
+        let t0 = obs::telemetry_on().then(Instant::now);
+        self.shared.sink.on_events(engine_id, events);
+        let tr = self.traces.remove(session);
+        let Some(d) = t0.map(|t| t.elapsed()) else {
+            return;
+        };
+        crate::telemetry::hop_metrics().emit.record_duration_ns(d);
+        let Some(tr) = tr else { return };
+        let end_us = tr.recorder.now_us();
+        obs::trace::finish_span(
+            &tr.recorder,
+            obs::trace::SpanEvent {
+                trace: tr.trace,
+                span: obs::trace::next_span_id(),
+                parent: Some(tr.root),
+                name: "emit".to_owned(),
+                start_us: end_us.saturating_sub(d.as_micros() as u64),
+                end_us,
+            },
+        );
+        // The root span covers the session's whole served lifetime.
+        obs::trace::finish_span(
+            &tr.recorder,
+            obs::trace::SpanEvent {
+                trace: tr.trace,
+                span: tr.root,
+                parent: tr.root_parent,
+                name: "session".to_owned(),
+                start_us: tr.opened_us,
+                end_us,
+            },
+        );
+    }
+
+    fn handle_open(&mut self, session: String, trace: Option<TraceContext>) -> bool {
         if self.sessions.contains_key(&session) {
             return self.respond(&Frame::Error {
                 code: ERR_SESSION_EXISTS,
@@ -640,6 +783,7 @@ impl Connection {
             Ok(handle) => {
                 self.sessions.insert(session.clone(), handle);
                 self.sessions_gauge.set(self.sessions.len() as i64);
+                self.begin_trace(&session, trace);
                 self.respond(&Frame::Ack {
                     session,
                     seq: 0,
@@ -662,6 +806,7 @@ impl Connection {
         session: String,
         seq: u32,
         reports: rfid_gen2::report::ReportBatch,
+        trace: Option<TraceContext>,
     ) -> bool {
         let Some(handle) = self.sessions.get(&session) else {
             return self.respond(&Frame::Error {
@@ -671,6 +816,7 @@ impl Connection {
         };
         match handle.ingest_batch(reports) {
             Ok(receipt) => {
+                self.record_decode_span(&session, trace);
                 let m = serve_metrics();
                 m.reports_in.add(receipt.accepted);
                 if receipt.dropped == 0 {
@@ -696,7 +842,9 @@ impl Connection {
                     self.sessions_gauge.set(self.sessions.len() as i64);
                     let engine_id = self.engine_id(&session);
                     if let Ok(events) = handle.close() {
-                        self.shared.sink.on_events(&engine_id, events);
+                        self.deliver(&session, &engine_id, events);
+                    } else {
+                        self.traces.remove(&session);
                     }
                 }
                 self.respond(&Frame::Error {
@@ -730,16 +878,19 @@ impl Connection {
         match handle.close() {
             Ok(events) => {
                 let count = events.len() as u64;
-                self.shared.sink.on_events(&engine_id, events);
+                self.deliver(&session, &engine_id, events);
                 self.respond(&Frame::Closed {
                     session,
                     events: count,
                 })
             }
-            Err(e) => self.respond(&Frame::Error {
-                code: ERR_ENGINE,
-                message: e.to_string(),
-            }),
+            Err(e) => {
+                self.traces.remove(&session);
+                self.respond(&Frame::Error {
+                    code: ERR_ENGINE,
+                    message: e.to_string(),
+                })
+            }
         }
     }
 
@@ -753,7 +904,9 @@ impl Connection {
             Frame::Error { .. } => m.errors_out.inc(),
             _ => {}
         }
-        self.stream.write_all(&encode_frame(frame)).is_ok()
+        self.stream
+            .write_all(&encode_frame_v(frame, self.version))
+            .is_ok()
     }
 
     /// Fills `buf` from the stream under the connection's poll timeout,
@@ -796,10 +949,11 @@ impl Connection {
         for (client_id, handle) in sessions {
             let engine_id = self.engine_id(&client_id);
             match handle.close() {
-                Ok(events) => self.shared.sink.on_events(&engine_id, events),
+                Ok(events) => self.deliver(&client_id, &engine_id, events),
                 Err(e) => obs::debug!("drain close failed: {e}"; session = engine_id),
             }
         }
+        self.traces.clear();
         let label = format!("c{}", self.id);
         let r = obs::registry();
         for (name, _) in CONN_GAUGES {
@@ -1010,7 +1164,9 @@ mod tests {
         let (server, _engine) = server_with(Arc::new(DiscardSink));
         // Oversized frame: refused before the payload is read.
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
-        stream.write_all(&handshake_bytes()).expect("handshake out");
+        stream
+            .write_all(&handshake_bytes_for(WIRE_VERSION))
+            .expect("handshake out");
         let mut echo = [0u8; HANDSHAKE_LEN];
         stream.read_exact(&mut echo).expect("handshake back");
         stream
@@ -1025,7 +1181,9 @@ mod tests {
         );
         // Undecodable payload: a typed malformed error.
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
-        stream.write_all(&handshake_bytes()).expect("handshake out");
+        stream
+            .write_all(&handshake_bytes_for(WIRE_VERSION))
+            .expect("handshake out");
         stream.read_exact(&mut echo).expect("handshake back");
         stream
             .write_all(&[0, 0, 0, 2, 0xEE, 0xEE])
@@ -1105,5 +1263,80 @@ mod tests {
         let collected = sink.take();
         let pads: Vec<_> = collected.keys().filter(|k| k.ends_with("#pad")).collect();
         assert_eq!(pads.len(), 2, "{collected:?}");
+    }
+
+    #[test]
+    fn v1_clients_negotiate_down_and_round_trip() {
+        let sink = Arc::new(CollectingSink::new());
+        let (server, _engine) = server_with(Arc::clone(&sink) as Arc<dyn EventSink>);
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut client =
+            IngestClient::from_stream_versioned(stream, 1).expect("v1 handshake accepted");
+        assert_eq!(client.negotiated_version(), 1);
+        client.open("pad").expect("open");
+        let delivery = client
+            .send_reports("pad", &quiet_reports(64), 32)
+            .expect("send");
+        assert_eq!(delivery.accepted, 64);
+        assert_eq!(delivery.dropped, 0);
+        let events = client.close("pad").expect("close");
+        drop(client);
+        server.shutdown();
+        let collected = sink.take();
+        let key = collected
+            .keys()
+            .find(|k| k.ends_with("#pad"))
+            .expect("v1 session drained to sink")
+            .clone();
+        assert_eq!(collected[&key].len() as u64, events);
+    }
+
+    #[test]
+    fn traced_sessions_leave_flight_recorder_dumps() {
+        let (server, _engine) = server_with(Arc::new(DiscardSink));
+        let mut client = IngestClient::connect(server.local_addr()).expect("connect");
+        assert_eq!(client.negotiated_version(), WIRE_VERSION);
+        // A client-supplied trace context wins over a server-minted id.
+        client
+            .open_traced(
+                "traced-pad",
+                Some(TraceContext {
+                    trace: 0xfeed_f00d,
+                    parent_span: 0x77,
+                }),
+            )
+            .expect("open");
+        client
+            .send_reports("traced-pad", &quiet_reports(32), 16)
+            .expect("send");
+        client.close("traced-pad").expect("close");
+        server.shutdown();
+        // The recorder outlives the session for post-mortem debugging.
+        let key = obs::trace::sessions()
+            .into_iter()
+            .find(|s| s.ends_with("#traced-pad"))
+            .expect("recorder registered");
+        let rec = obs::trace::lookup(&key).expect("recorder kept after close");
+        let spans = rec.snapshot();
+        let root = spans
+            .iter()
+            .find(|s| s.name == "session")
+            .expect("root span closed at delivery");
+        assert_eq!(root.trace.0, 0xfeed_f00d);
+        assert_eq!(root.parent.map(|p| p.0), Some(0x77));
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.name == "emit" && s.parent == Some(root.span)),
+            "{spans:?}"
+        );
+        // The dump is line-parseable back into span events.
+        let dump = rec.to_json();
+        assert!(dump.starts_with("{\"dropped\":"), "{dump}");
+        let parsed = dump
+            .lines()
+            .filter_map(|l| obs::trace::SpanEvent::from_json(l.trim().trim_end_matches(',')))
+            .count();
+        assert_eq!(parsed, spans.len());
     }
 }

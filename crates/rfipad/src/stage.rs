@@ -305,9 +305,13 @@ impl Framing {
     /// Cuts one processing tick at `now`: finalized frames plus a shared
     /// stream snapshot. The stage histogram times the tick (the cache
     /// rebuild + frame cut), not the per-report append — the cheap
-    /// steady-state push must not pay for two clock reads per report.
+    /// steady-state push must not pay for two clock reads per report, and
+    /// even the tick timer rides the head sampler to stay inside the
+    /// telemetry overhead budget.
     fn tick(&mut self, now: f64, out: &mut Vec<FrameTick>) {
-        let _span = obs::span!(crate::telemetry::stage_metrics().framing);
+        let _span = crate::telemetry::stage_metrics()
+            .framing
+            .start_span_if(obs::trace::sampler().sample());
         let started = Instant::now();
         self.ensure_cache();
         let cache = self.cache.as_mut().expect("ensured above");
@@ -883,6 +887,7 @@ impl StageGraphBuilder {
             spans: Vec::new(),
             strokes: Vec::new(),
             letters: Vec::new(),
+            trace: None,
         })
     }
 }
@@ -918,6 +923,22 @@ pub struct StageGraph {
     spans: Vec<SpanBatch>,
     strokes: Vec<StrokeBatch>,
     letters: Vec<LetterOut>,
+    /// Trace binding for served sessions: sampled stage pushes emit
+    /// `stage:*` child spans into the session's flight recorder.
+    trace: Option<StageTrace>,
+}
+
+/// Runtime trace binding of a graph to a session's flight recorder.
+/// Never checkpointed: tracing is an observation of a run, not state of
+/// the recognition.
+#[derive(Debug, Clone)]
+pub(crate) struct StageTrace {
+    /// The session's flight recorder (also the span timebase).
+    pub recorder: Arc<obs::trace::FlightRecorder>,
+    /// The trace every emitted span belongs to.
+    pub trace: obs::trace::TraceId,
+    /// Parent of the emitted stage spans (the session's root span).
+    pub parent: obs::trace::SpanId,
 }
 
 impl StageGraph {
@@ -979,6 +1000,14 @@ impl StageGraph {
             }
         }
         self.last_time = obs.time;
+        // The framing hop is only measured for trace-bound (served)
+        // sessions, and then only on sampled pushes — untraced replays pay
+        // one Option check per report.
+        let framing_hop = if self.trace.is_some() {
+            self.begin_stage_hop(obs::trace::sampler().sample())
+        } else {
+            None
+        };
         // Retention must not cut into the letter being assembled: feed
         // the letter stage's oldest pending stroke back as the anchor.
         self.framing.set_hold_anchor(self.letter.hold_anchor());
@@ -986,6 +1015,7 @@ impl StageGraph {
         if let Some(keep_from) = self.framing.take_trim() {
             self.segmentation.trim_reported(keep_from);
         }
+        self.end_stage_hop(0, framing_hop);
         // Most pushes buffer without crossing a frame boundary; only a
         // tick has anything to drive downstream.
         if !self.ticks.is_empty() {
@@ -1028,31 +1058,104 @@ impl StageGraph {
         self.cascade(events);
     }
 
+    /// Binds (or unbinds) the graph to a session trace: sampled stage
+    /// pushes then emit `stage:*` child spans into the session's flight
+    /// recorder.
+    pub(crate) fn bind_trace(&mut self, binding: Option<StageTrace>) {
+        self.trace = binding;
+    }
+
+    /// The graph's trace binding, if a serving layer installed one.
+    pub(crate) fn trace_binding(&self) -> Option<&StageTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Opens one sampled stage-hop measurement: the recorder timebase
+    /// stamp (when a trace is bound) plus the wall clock. `None` when this
+    /// push is not sampled.
+    fn begin_stage_hop(&self, sampled: bool) -> Option<(Option<u64>, Instant)> {
+        if !sampled {
+            return None;
+        }
+        let stamp = self.trace.as_ref().map(|t| t.recorder.now_us());
+        Some((stamp, Instant::now()))
+    }
+
+    /// Closes a sampled stage-hop measurement: records the
+    /// `rfipad_hop_seconds{hop=stage:<name>}` histogram and, when a trace
+    /// is bound, a `stage:<name>` child span in the flight recorder.
+    fn end_stage_hop(&self, stage: usize, begun: Option<(Option<u64>, Instant)>) {
+        let Some((stamp, t0)) = begun else { return };
+        let elapsed = t0.elapsed();
+        crate::telemetry::hop_metrics().stages[stage].record_duration_ns(elapsed);
+        if let (Some(start_us), Some(tr)) = (stamp, self.trace.as_ref()) {
+            let end_us = start_us + elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+            obs::trace::finish_span(
+                &tr.recorder,
+                obs::trace::SpanEvent {
+                    trace: tr.trace,
+                    span: obs::trace::next_span_id(),
+                    parent: Some(tr.parent),
+                    name: format!("stage:{}", crate::telemetry::STAGE_NAMES[stage]),
+                    start_us,
+                    end_us,
+                },
+            );
+        }
+    }
+
     /// Drains every edge buffer through the downstream stages, timing
     /// each downstream stage push (framing times its own ticks), and
-    /// routes letter-close feedback upstream.
+    /// routes letter-close feedback upstream. Stage timers and hop spans
+    /// are head-sampled (`obs::trace::sampler`) so the per-report cascade
+    /// stays inside the telemetry overhead budget.
     fn cascade(&mut self, events: &mut Vec<PipelineEvent>) {
         let metrics = crate::telemetry::stage_metrics();
-        for tick in self.ticks.drain(..) {
-            let _span = obs::span!(metrics.segmentation);
-            self.segmentation.push(tick, &mut self.spans);
+        let sampled = obs::trace::sampler().sample();
+        let mut ticks = std::mem::take(&mut self.ticks);
+        for tick in ticks.drain(..) {
+            let hop = self.begin_stage_hop(sampled);
+            {
+                let _span = metrics.segmentation.start_span_if(sampled);
+                self.segmentation.push(tick, &mut self.spans);
+            }
+            self.end_stage_hop(1, hop);
         }
-        for batch in self.spans.drain(..) {
-            let _span = obs::span!(metrics.motion);
-            self.motion.push(batch, &mut self.strokes);
+        self.ticks = ticks;
+        let mut spans = std::mem::take(&mut self.spans);
+        for batch in spans.drain(..) {
+            let hop = self.begin_stage_hop(sampled);
+            {
+                let _span = metrics.motion.start_span_if(sampled);
+                self.motion.push(batch, &mut self.strokes);
+            }
+            self.end_stage_hop(2, hop);
         }
-        for batch in self.strokes.drain(..) {
-            let _span = obs::span!(metrics.letter);
-            self.letter.push(batch, &mut self.letters);
+        self.spans = spans;
+        let mut strokes = std::mem::take(&mut self.strokes);
+        for batch in strokes.drain(..) {
+            let hop = self.begin_stage_hop(sampled);
+            {
+                let _span = metrics.letter.start_span_if(sampled);
+                self.letter.push(batch, &mut self.letters);
+            }
+            self.end_stage_hop(3, hop);
         }
+        self.strokes = strokes;
         let mut closed_at = None;
-        for out in self.letters.drain(..) {
+        let mut letters = std::mem::take(&mut self.letters);
+        for out in letters.drain(..) {
             if let LetterOut::Close { letter_end, .. } = &out {
                 closed_at = Some(*letter_end);
             }
-            let _span = obs::span!(metrics.grammar);
-            self.grammar.push(out, events);
+            let hop = self.begin_stage_hop(sampled);
+            {
+                let _span = metrics.grammar.start_span_if(sampled);
+                self.grammar.push(out, events);
+            }
+            self.end_stage_hop(4, hop);
         }
+        self.letters = letters;
         if let Some(letter_end) = closed_at {
             // The letter's history is dead: trim it and forget the span
             // dedup entries that guarded it.

@@ -8,7 +8,7 @@
 //!
 //! Naming follows DESIGN.md §Observability: `rfipad_stage_*`,
 //! `rfipad_pipeline_*`, `rfipad_engine_*`, `rfipad_session_*`,
-//! `rfipad_serve_*`.
+//! `rfipad_serve_*`, `rfipad_hop_*`.
 
 use obs::{Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
@@ -99,6 +99,63 @@ pub(crate) fn stage_metrics() -> &'static StageMetrics {
     })
 }
 
+/// Name of the per-hop ingest-latency histogram family: one series per
+/// hop of the end-to-end ingest path, labelled `hop=decode | queue |
+/// stage:framing | stage:segmentation | stage:motion | stage:letter |
+/// stage:grammar | emit`. Values are recorded in nanoseconds against
+/// [`obs::metrics::DEFAULT_DURATION_BOUNDS_NS`].
+pub const HOP_METRIC: &str = "rfipad_hop_seconds";
+
+/// Cached handles for the per-hop latency breakdown of the ingest path
+/// (DESIGN.md §11): wire decode, engine queue wait, the five stage pushes,
+/// and event emission. The batch-granular hops (decode, queue, emit) are
+/// recorded unsampled; the per-report stage hops ride the head sampler
+/// (`obs::trace::sampler`) so the hot path stays inside the overhead
+/// budget.
+pub(crate) struct HopMetrics {
+    /// Wire-frame decode time on the ingest server.
+    pub decode: Arc<Histogram>,
+    /// Time a queue item waited between enqueue and worker drain.
+    pub queue: Arc<Histogram>,
+    /// Per-stage push time, indexed like the stage graph (sampled).
+    pub stages: [Arc<Histogram>; 5],
+    /// Sink delivery time when a session's events are emitted.
+    pub emit: Arc<Histogram>,
+}
+
+/// Stage names in graph order, shared by the hop series and the trace
+/// span names (`stage:<name>`).
+pub(crate) const STAGE_NAMES: [&str; 5] =
+    ["framing", "segmentation", "motion", "letter", "grammar"];
+
+/// The lazily registered per-hop latency histograms.
+pub(crate) fn hop_metrics() -> &'static HopMetrics {
+    static METRICS: OnceLock<HopMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        let hop = |name: &'static str| {
+            r.histogram(
+                HOP_METRIC,
+                "Per-hop ingest latency, recorded in nanoseconds.",
+                &[("hop", name)],
+                obs::metrics::DEFAULT_DURATION_BOUNDS_NS,
+            )
+        };
+        HopMetrics {
+            decode: hop("decode"),
+            queue: hop("queue"),
+            stages: [
+                hop("stage:framing"),
+                hop("stage:segmentation"),
+                hop("stage:motion"),
+                hop("stage:letter"),
+                hop("stage:grammar"),
+            ],
+            emit: hop("emit"),
+        }
+    })
+}
+
 /// Cached handles for segmentation-quality counters fed by
 /// [`crate::metrics::score_segmentation`].
 pub(crate) struct SegmentationMetrics {
@@ -145,7 +202,7 @@ pub(crate) struct EngineMetrics {
     pub sessions_closed: Arc<Counter>,
     /// Sessions evicted by the idle sweeper.
     pub sessions_evicted: Arc<Counter>,
-    /// Push latency across all sessions, microseconds.
+    /// Push latency across all sessions, nanoseconds.
     pub push_latency: Arc<Histogram>,
     /// Currently open sessions.
     pub sessions_open: Arc<obs::Gauge>,
@@ -278,10 +335,10 @@ pub(crate) fn engine_metrics() -> &'static EngineMetrics {
                 &[],
             ),
             push_latency: r.histogram(
-                "rfipad_engine_push_latency_us",
-                "Per-report push-to-drain latency across all sessions, microseconds.",
+                "rfipad_engine_push_latency_ns",
+                "Per-item push-processing latency across all sessions, nanoseconds.",
                 &[],
-                obs::metrics::DEFAULT_DURATION_BOUNDS_US,
+                obs::metrics::DEFAULT_DURATION_BOUNDS_NS,
             ),
             sessions_open: r.gauge(
                 "rfipad_engine_sessions_open",

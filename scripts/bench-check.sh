@@ -55,6 +55,49 @@ cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
 echo "== multi-session engine smoke (8 golden-trace replays) =="
 cargo run --release -p experiments --bin engine_bench -- --sessions 8
 
+echo "== health/debug endpoint smoke (live engine) =="
+# A tiny load_gen run serves the engine's endpoint and holds the process
+# alive after the drain; the probes must see 200s and valid JSON. Runs
+# before the full serve smoke so the 4×2 run's serve_loopback and
+# serve_e2e_latency entries are the ones left in BENCH_pipeline.json.
+probe_port=${PROBE_PORT:-7939}
+cargo run --release -p experiments --bin load_gen -- --connections 1 --sessions 1 \
+  --metrics-addr "127.0.0.1:${probe_port}" --hold 10 &
+probe_pid=$!
+if ! python3 - "$probe_port" <<'PY'
+import json, sys, time, urllib.error, urllib.request
+
+base = "http://127.0.0.1:" + sys.argv[1]
+deadline = time.time() + 60
+while True:
+    try:
+        with urllib.request.urlopen(base + "/healthz", timeout=2) as r:
+            if r.status != 200:
+                sys.exit(f"bench-check: /healthz answered {r.status}")
+        break
+    except (urllib.error.URLError, ConnectionError, OSError):
+        if time.time() > deadline:
+            sys.exit("bench-check: /healthz never came up")
+        time.sleep(0.2)
+with urllib.request.urlopen(base + "/readyz", timeout=2) as r:
+    if r.status != 200:
+        sys.exit(f"bench-check: /readyz answered {r.status}")
+with urllib.request.urlopen(base + "/debug/journal", timeout=2) as r:
+    if r.status != 200:
+        sys.exit(f"bench-check: /debug/journal answered {r.status}")
+    try:
+        json.loads(r.read().decode())
+    except ValueError as e:
+        sys.exit(f"bench-check: /debug/journal is not valid JSON: {e}")
+print("healthz/readyz/debug-journal probes: OK")
+PY
+then
+  kill "$probe_pid" 2>/dev/null || true
+  wait "$probe_pid" 2>/dev/null || true
+  exit 1
+fi
+wait "$probe_pid"
+
 echo "== serve smoke (golden trace over loopback TCP, bit-identical) =="
 # load_gen starts an in-process ingest server, replays the golden trace
 # over 4 concurrent connections × 2 multiplexed sessions each, verifies
@@ -79,6 +122,14 @@ grep -q '"telemetry_overhead"' BENCH_pipeline.json || {
   echo "bench-check: telemetry_overhead entry missing from BENCH_pipeline.json" >&2
   exit 1
 }
+# Hard budget: instrumented replay may cost at most 3% over telemetry-off.
+overhead=$(sed -n 's/^ *"telemetry_overhead":.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+  BENCH_pipeline.json | head -n 1)
+awk -v o="${overhead:-100}" 'BEGIN { exit !(o <= 3.0) }' || {
+  echo "bench-check: telemetry overhead ${overhead}% exceeds the 3% budget" >&2
+  exit 1
+}
+echo "telemetry overhead ${overhead}% (budget 3%): OK"
 
 echo "== checkpoint/restore smoke (mid-trace migration) =="
 cargo run --release -p experiments --bin trace_tool -- \

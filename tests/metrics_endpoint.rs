@@ -66,12 +66,27 @@ fn live_engine_exposition_covers_every_layer() {
         "rfipad_stage_push_seconds_bucket{stage=\"grammar\"",
         "rfipad_pipeline_reports_total",
         "rfipad_engine_reports_in_total",
-        "rfipad_engine_push_latency_us_count",
+        "rfipad_engine_push_latency_ns_count",
+        "rfipad_hop_seconds_bucket{hop=\"queue\"",
+        "rfipad_hop_seconds_bucket{hop=\"stage:framing\"",
         "rfipad_session_queue_depth{session=\"kiosk-metrics\"}",
         "rfipad_session_reports_dropped{session=\"kiosk-metrics\"}",
     ] {
         assert!(body.contains(needle), "exposition is missing {needle}");
     }
+
+    // Health, readiness, and debug routes ride the same endpoint.
+    let (head, body) = http_get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+    let (head, body) = http_get(addr, "/readyz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ready\n");
+    let (head, json) = http_get(addr, "/debug/journal");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(json.starts_with("{\"entries\":["), "{json}");
+    let (head, _) = http_get(addr, "/debug/trace/no-such-session");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
     let (head, json) = http_get(addr, "/stats.json");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");

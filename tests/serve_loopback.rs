@@ -82,10 +82,41 @@ fn loopback_replay_is_bit_identical_to_in_process_batched_replay() {
             batch: 64,
             jobs: 0,
             capacity: 1024,
+            ..LoopbackConfig::default()
         },
     )
     .expect("loopback replay");
     assert_eq!(run.sessions, 8);
+    assert_eq!(run.events_per_session, expected.len());
+    assert!(run.e2e_samples > 0, "served events carry response times");
+    assert!(run.e2e_p50_s <= run.e2e_p99_s);
+}
+
+#[test]
+fn loopback_replay_is_bit_identical_with_tracing_disabled() {
+    // Tracing must be pure observation: with telemetry (and thus every
+    // span, hop histogram, and flight recorder) disabled, the served
+    // replay still reproduces the reference bit for bit — and it already
+    // does so with tracing enabled in the test above.
+    let (reports, recognizer, expected) = fixture();
+    let restore = obs::max_level();
+    obs::set_level(obs::Level::Off);
+    let run = replay_over_loopback(
+        recognizer,
+        reports,
+        expected,
+        &LoopbackConfig {
+            connections: 2,
+            sessions_per_connection: 1,
+            batch: 64,
+            jobs: 2,
+            capacity: 1024,
+            ..LoopbackConfig::default()
+        },
+    );
+    obs::set_level(restore);
+    let run = run.expect("loopback replay with telemetry off");
+    assert_eq!(run.sessions, 2);
     assert_eq!(run.events_per_session, expected.len());
 }
 
