@@ -191,7 +191,10 @@ fn run_replay(
                         stats.queue_depth, capacity
                     ));
                 }
-                let mut events = session.close().map_err(|e| e.to_string())?;
+                // Final counters come from close_with_stats: a stats() taken
+                // here races the worker's drain and can miss every latency
+                // sample of a short batched replay (p50 = p99 = 0).
+                let (mut events, stats) = session.close_with_stats().map_err(|e| e.to_string())?;
                 normalize_events(&mut events);
                 if events != *expected {
                     return Err(format!(
@@ -210,6 +213,13 @@ fn run_replay(
     let mut worst_p99 = 0u64;
     for feeder in feeders {
         let latency = feeder.join().map_err(|_| "feeder panicked".to_string())??;
+        if latency.count == 0 || latency.p50_ns == 0 {
+            return Err(format!(
+                "push latency empty after drain ({} samples, p50 {} ns) — \
+                 final session stats must include every push",
+                latency.count, latency.p50_ns
+            ));
+        }
         worst_p50 = worst_p50.max(latency.p50_ns);
         worst_p99 = worst_p99.max(latency.p99_ns);
     }

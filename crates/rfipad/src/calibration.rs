@@ -17,6 +17,7 @@
 use crate::config::RfipadConfig;
 use crate::error::RfipadError;
 use crate::layout::ArrayLayout;
+use crate::tagmap::TagIdMap;
 use rfid_gen2::report::{TagId, TagReport};
 use serde::{Deserialize, Serialize};
 use sigproc::frames::FrameSeq;
@@ -82,7 +83,7 @@ pub struct TagCalibration {
 /// The complete static calibration of a pad.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Calibration {
-    per_tag: HashMap<TagId, TagCalibration>,
+    per_tag: TagIdMap<TagId, TagCalibration>,
     /// Mean deviation bias across the array (weighting normalizer).
     mean_bias: f64,
     /// Median `std(rms(w))` of static windows — the quiet-floor for Eq. 12.
@@ -120,7 +121,8 @@ impl Calibration {
             rss.entry(obs.tag).or_default().push(obs.rss_dbm);
         }
 
-        let mut per_tag = HashMap::with_capacity(layout.len());
+        let mut per_tag = TagIdMap::default();
+        per_tag.reserve(layout.len());
         for &id in layout.tags() {
             let tag_phases = phases.get(&id).map(Vec::as_slice).unwrap_or(&[]);
             if tag_phases.len() < MIN_SAMPLES_PER_TAG {
@@ -164,7 +166,7 @@ impl Calibration {
 
     fn compute_static_floors(
         layout: &ArrayLayout,
-        per_tag: &HashMap<TagId, TagCalibration>,
+        per_tag: &TagIdMap<TagId, TagCalibration>,
         observations: &[TagReport],
         config: &RfipadConfig,
     ) -> (f64, f64) {

@@ -1485,12 +1485,28 @@ impl SessionHandle {
     /// eviction or shutdown — still closes cleanly and returns its
     /// events).
     pub fn close(self) -> Result<Vec<PipelineEvent>, RfipadError> {
+        self.close_with_stats().map(|(events, _)| events)
+    }
+
+    /// Like [`close`](Self::close), but also returns the session's final
+    /// counters, captured after the queue fully drained and the pipeline
+    /// flushed. This is the only way to observe the complete push-latency
+    /// distribution of a batched feed: [`stats`](Self::stats) taken while
+    /// the worker is still draining misses the tail (and, for a small
+    /// replay, possibly every sample).
+    ///
+    /// # Errors
+    ///
+    /// [`RfipadError::EngineDown`] under the same conditions as
+    /// [`close`](Self::close).
+    pub fn close_with_stats(self) -> Result<(Vec<PipelineEvent>, SessionStats), RfipadError> {
         let sess = &self.inner;
         let kicked = begin_finish(&self.shared, sess);
         if kicked.is_err() && !sess.finished.load(Ordering::SeqCst) {
-            return kicked.map(|_| Vec::new());
+            return kicked.map(|_| (Vec::new(), session_stats(sess)));
         }
         wait_finished(sess);
+        let stats = session_stats(sess);
         let events = {
             let mut state = sess.state.lock().expect("session state poisoned");
             std::mem::take(&mut state.events)
@@ -1505,7 +1521,7 @@ impl SessionHandle {
             obs::debug!("session closed"; session = sess.id, events = events.len());
         }
         drop(sessions);
-        Ok(events)
+        Ok((events, stats))
     }
 }
 
@@ -1753,6 +1769,39 @@ mod tests {
         let mut events = session.close().expect("close");
         normalize_events(&mut events);
         assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn batched_ingest_close_reports_nonzero_push_latency() {
+        // Regression: stats taken mid-drain can miss every latency sample
+        // for a short batched replay (the worker hasn't touched the queue
+        // yet), reporting p50 = p99 = 0. close_with_stats captures the
+        // counters after the drain, when every batch's latency is in.
+        let engine = Engine::builder().workers(1).build().expect("engine");
+        let session = engine.open_session("latency", pipeline()).expect("open");
+        let reports = recording();
+        for chunk in reports.chunks(64) {
+            session
+                .ingest_batch(chunk.iter().copied().collect())
+                .expect("ingest_batch");
+        }
+        let (mut events, stats) = session.close_with_stats().expect("close");
+        normalize_events(&mut events);
+        assert_eq!(events, serial_events());
+        assert_eq!(stats.reports_in, reports.len() as u64);
+        assert_eq!(stats.queue_depth, 0, "closed session has drained");
+        assert_eq!(
+            stats.push_latency.count,
+            reports.len().div_ceil(64) as u64,
+            "one latency sample per ingested batch"
+        );
+        assert!(
+            stats.push_latency.p50_ns > 0,
+            "p50 {:?}",
+            stats.push_latency
+        );
+        assert!(stats.push_latency.p99_ns >= stats.push_latency.p50_ns);
+        assert!(stats.push_latency.max_ns >= stats.push_latency.p99_ns);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The logical tag-array layout: tag ids ↔ grid positions.
 
 use crate::error::RfipadError;
+use crate::tagmap::TagIdMap;
 use rfid_gen2::report::TagId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The recognizer's view of the tag plate: which tag sits at which grid
 /// cell. Purely logical (ids and grid positions only) so the pipeline can
@@ -14,7 +14,7 @@ pub struct ArrayLayout {
     rows: usize,
     cols: usize,
     cells: Vec<TagId>,
-    index: HashMap<TagId, (usize, usize)>,
+    index: TagIdMap<TagId, (usize, usize)>,
 }
 
 impl ArrayLayout {
@@ -27,7 +27,8 @@ impl ArrayLayout {
     pub fn new(rows: usize, cols: usize, cells: Vec<TagId>) -> Self {
         assert!(rows > 0 && cols > 0, "layout dimensions must be nonzero");
         assert_eq!(cells.len(), rows * cols, "cell count mismatch");
-        let mut index = HashMap::with_capacity(cells.len());
+        let mut index = TagIdMap::default();
+        index.reserve(cells.len());
         for (i, &id) in cells.iter().enumerate() {
             let prev = index.insert(id, (i / cols, i % cols));
             assert!(prev.is_none(), "duplicate tag id {id}");

@@ -249,12 +249,12 @@ fn placement_template(
 
 fn splat(img: &mut GridImage, row: f64, col: f64) {
     let two_sigma2 = 2.0 * TEMPLATE_SPLAT_SIGMA * TEMPLATE_SPLAT_SIGMA;
-    for r in 0..img.rows() {
-        for c in 0..img.cols() {
-            let dr = r as f64 - row;
+    let cols = img.cols();
+    for (r, cells) in img.data_mut().chunks_exact_mut(cols).enumerate() {
+        let dr = r as f64 - row;
+        for (c, cell) in cells.iter_mut().enumerate() {
             let dc = c as f64 - col;
-            let v = img.get(r, c) + (-(dr * dr + dc * dc) / two_sigma2).exp();
-            img.set(r, c, v);
+            *cell += (-(dr * dr + dc * dc) / two_sigma2).exp();
         }
     }
 }

@@ -340,6 +340,23 @@ impl Recognizer {
         )
     }
 
+    /// Like [`segment_frames`](Self::segment_frames), but reuses `scratch`
+    /// and `out` so the online hot path scores frames without allocating.
+    pub fn segment_frames_into(
+        &self,
+        frames: &sigproc::frames::FrameSeq,
+        scratch: &mut sigproc::kernel::Scratch,
+        out: &mut Segmentation,
+    ) {
+        self.segmenter.segment_frames_into(
+            frames,
+            self.calibration.activity_threshold(&self.config),
+            self.calibration.rms_level_threshold(&self.config),
+            scratch,
+            out,
+        )
+    }
+
     /// Per-stream noise floors in layout order — the `floors` argument the
     /// calibrated segmentation applies during framing.
     pub fn noise_floors(&self) -> Vec<f64> {

@@ -49,7 +49,7 @@ pub struct FrameScore {
 }
 
 /// Segmentation result: spans plus diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Segmentation {
     /// Detected stroke spans in time order.
     pub spans: Vec<StrokeSpan>,
@@ -149,6 +149,24 @@ impl Segmenter {
         threshold: f64,
         rms_threshold: f64,
     ) -> Segmentation {
+        let mut scratch = sigproc::kernel::Scratch::new();
+        let mut out = Segmentation::default();
+        self.segment_frames_into(frame_seq, threshold, rms_threshold, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`segment_frames`](Self::segment_frames), but reuses `scratch`
+    /// and `out` so the steady-state online pipeline scores frames without
+    /// heap allocations. The result is bit-identical to
+    /// [`segment_frames`](Self::segment_frames).
+    pub fn segment_frames_into(
+        &self,
+        frame_seq: &FrameSeq,
+        threshold: f64,
+        rms_threshold: f64,
+        scratch: &mut sigproc::kernel::Scratch,
+        out: &mut Segmentation,
+    ) {
         let frames = frame_seq.frames();
         let n = frames.len();
         let w = self.config.window_frames;
@@ -156,84 +174,71 @@ impl Segmenter {
 
         // Per-frame score: std(rms) of the window centred on the frame
         // (shrinking at the edges).
-        let rms: Vec<f64> = frames.iter().map(|f| f.rms).collect();
-        let window_std: Vec<f64> = (0..n)
-            .map(|i| {
-                let lo = i.saturating_sub(half);
-                let hi = (i + half + 1).min(n);
-                sigproc::stats::std_dev(&rms[lo..hi])
-            })
-            .collect();
+        frame_seq.rms_values_into(&mut scratch.a);
+        sigproc::kernel::windowed_std_into(&scratch.a, half, &mut scratch.b);
         // A window overlapping a stroke edge is active even though most of
         // its frames are quiet; to keep spans tight (and isolated one-frame
         // twitches from smearing into stroke-length spans) a frame counts
         // as active only when *every* window containing it is active —
         // erosion matching the earlier dilation.
-        let mut scores = Vec::with_capacity(n);
-        for i in 0..n {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half + 1).min(n);
-            let eroded = window_std[lo..hi]
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
-            scores.push(FrameScore {
-                time: frames[i].start,
-                rms: rms[i],
-                window_std: window_std[i],
-                active: eroded > threshold || rms[i] > rms_threshold,
+        sigproc::kernel::windowed_min_into(&scratch.b, half, &mut scratch.c);
+        out.threshold = threshold;
+        out.spans.clear();
+        out.frames.clear();
+        out.frames.reserve(n);
+        for (i, frame) in frames.iter().enumerate() {
+            out.frames.push(FrameScore {
+                time: frame.start,
+                rms: scratch.a[i],
+                window_std: scratch.b[i],
+                active: scratch.c[i] > threshold || scratch.a[i] > rms_threshold,
             });
         }
 
-        // Merge runs of active frames into raw spans.
-        let mut raw_spans: Vec<(usize, usize)> = Vec::new(); // [start, end) frame indices
+        // Merge runs of active frames into raw spans ([start, end) frame
+        // indices).
+        scratch.runs.clear();
         let mut run_start: Option<usize> = None;
-        #[allow(clippy::needless_range_loop)] // the i == n sentinel closes a trailing run
-        for i in 0..=n {
-            let active = i < n && scores[i].active;
-            match (active, run_start) {
+        for (i, score) in out.frames.iter().enumerate() {
+            match (score.active, run_start) {
                 (true, None) => run_start = Some(i),
                 (false, Some(s)) => {
-                    raw_spans.push((s, i));
+                    scratch.runs.push((s, i));
                     run_start = None;
                 }
                 _ => {}
             }
+        }
+        if let Some(s) = run_start {
+            scratch.runs.push((s, n));
         }
 
         // Bridge brief lulls: a hand changing direction mid-stroke can dip
         // the window variance for a frame or two, which must not split the
         // stroke. Real adjustment intervals are several frames long.
         let bridge_frames = 2usize;
-        let mut bridged: Vec<(usize, usize)> = Vec::new();
-        for span in raw_spans {
-            match bridged.last_mut() {
+        scratch.runs2.clear();
+        for &span in &scratch.runs {
+            match scratch.runs2.last_mut() {
                 Some(prev) if span.0 - prev.1 <= bridge_frames => prev.1 = span.1,
-                _ => bridged.push(span),
+                _ => scratch.runs2.push(span),
             }
         }
 
         // Drop bursts shorter than the minimum stroke length.
-        let mut spans = Vec::new();
-        for (s, e) in bridged {
+        for &(s, e) in &scratch.runs2 {
             if e - s >= self.config.min_stroke_frames {
-                spans.push(StrokeSpan {
+                out.spans.push(StrokeSpan {
                     start: frames[s].start,
                     end: frames[e - 1].end(),
                 });
             } else {
                 // Too short: clear the activity flags for honesty in
                 // diagnostics.
-                for score in &mut scores[s..e] {
+                for score in &mut out.frames[s..e] {
                     score.active = false;
                 }
             }
-        }
-
-        Segmentation {
-            spans,
-            frames: scores,
-            threshold,
         }
     }
 }

@@ -194,6 +194,20 @@ struct StreamCache {
     /// Created at the first in-layout report; that report's time anchors
     /// frame 0, matching the batch build's `streams.start()`.
     frames: Option<FrameBuilder>,
+    /// A retired frame builder kept for its allocations: the next rebuild
+    /// re-anchors it instead of constructing a fresh one.
+    spare: Option<FrameBuilder>,
+}
+
+impl StreamCache {
+    /// Empties the cache while keeping its allocations (stream series,
+    /// frame accumulators) for the next rebuild.
+    fn reset(&mut self) {
+        self.streams.clear();
+        if let Some(frames) = self.frames.take() {
+            self.spare = Some(frames);
+        }
+    }
 }
 
 /// Appends one (already clamped) report to the cache, mirroring what a
@@ -209,14 +223,23 @@ fn cache_append(
         .streams
         .push(layout, Some(recognizer.calibration()), obs)
     {
-        let frames = cache.frames.get_or_insert_with(|| {
-            FrameBuilder::new(
-                layout.len(),
-                Some(noise_floors.to_vec()),
-                t,
-                recognizer.config().frame_len_s,
-            )
-        });
+        let frames = match &mut cache.frames {
+            Some(frames) => frames,
+            frames @ None => frames.insert(match cache.spare.take() {
+                // A retired builder carries the right stream count,
+                // floors, and frame length; only the anchor moves.
+                Some(mut spare) => {
+                    spare.reset_anchor(t);
+                    spare
+                }
+                None => FrameBuilder::new(
+                    layout.len(),
+                    Some(noise_floors.to_vec()),
+                    t,
+                    recognizer.config().frame_len_s,
+                ),
+            }),
+        };
         let idx = layout.stream_index(tag).expect("accepted tag in layout");
         frames.push(idx, t, v);
     }
@@ -239,6 +262,12 @@ pub struct Framing {
     /// Incremental streams + frames over `buffer`; `None` after a trim
     /// until the next tick rebuilds it.
     cache: Option<StreamCache>,
+    /// An invalidated cache kept for its allocations; the next rebuild
+    /// starts from it instead of a fresh [`StreamCache`].
+    spare_cache: Option<StreamCache>,
+    /// A consumed tick's frame sequence handed back by the graph; the
+    /// next tick builds into it instead of allocating.
+    spare_frames: Option<FrameSeq>,
     last_processed: f64,
     /// Start of the oldest pending stroke (set by the graph before each
     /// push): retention never cuts into an unclosed letter's history.
@@ -260,6 +289,8 @@ impl Framing {
             end_guard_s,
             buffer: Vec::new(),
             cache: None,
+            spare_cache: None,
+            spare_frames: None,
             last_processed: f64::NEG_INFINITY,
             hold_from: None,
             pending_trim: None,
@@ -286,16 +317,31 @@ impl Framing {
     /// tick.
     pub fn trim_after_letter(&mut self, letter_end: f64) {
         self.buffer.retain(|o| o.time > letter_end);
-        self.cache = None;
+        self.invalidate_cache();
+    }
+
+    /// Drops the incremental cache, parking it (emptied) as the spare so
+    /// the rebuild reuses its allocations.
+    fn invalidate_cache(&mut self) {
+        if let Some(mut cache) = self.cache.take() {
+            cache.reset();
+            self.spare_cache = Some(cache);
+        }
+    }
+
+    /// Hands a consumed tick's frame sequence back for reuse by the next
+    /// tick.
+    pub(crate) fn recycle_frames(&mut self, frames: FrameSeq) {
+        self.spare_frames = Some(frames);
     }
 
     /// Rebuilds the incremental cache from the buffer if a trim dropped
-    /// it.
+    /// it, reusing the retired cache's allocations when one is parked.
     fn ensure_cache(&mut self) {
         if self.cache.is_some() {
             return;
         }
-        let mut cache = StreamCache::default();
+        let mut cache = self.spare_cache.take().unwrap_or_default();
         for obs in &self.buffer {
             cache_append(&mut cache, &self.recognizer, &self.noise_floors, obs);
         }
@@ -314,11 +360,12 @@ impl Framing {
             .start_span_if(obs::trace::sampler().sample());
         let started = Instant::now();
         self.ensure_cache();
+        let mut frames = self.spare_frames.take().unwrap_or_default();
         let cache = self.cache.as_mut().expect("ensured above");
-        let frames = match (&mut cache.frames, cache.streams.streams().end()) {
-            (Some(builder), Some(end)) => builder.build(end),
-            _ => FrameSeq::default(),
-        };
+        match (&mut cache.frames, cache.streams.streams().end()) {
+            (Some(builder), Some(end)) => builder.build_into(end, &mut frames),
+            _ => frames.clear(),
+        }
         out.push(FrameTick {
             now,
             started,
@@ -359,7 +406,7 @@ impl Stage for Framing {
         {
             self.buffer.retain(|o| o.time >= keep_from);
             self.pending_trim = Some(keep_from);
-            self.cache = None;
+            self.invalidate_cache();
         }
         // Re-evaluate once per frame, not per read.
         if now - self.last_processed < self.recognizer.config().frame_len_s {
@@ -431,7 +478,7 @@ impl Stage for Framing {
         self.last_processed =
             last_processed.ok_or_else(|| checkpoint_err("framing state lacks last_processed"))?;
         self.buffer = buffer.ok_or_else(|| checkpoint_err("framing state lacks buffer"))?;
-        self.cache = None;
+        self.invalidate_cache();
         self.hold_from = None;
         self.pending_trim = None;
         let diag = frames_diag.ok_or_else(|| checkpoint_err("framing state lacks frames"))?;
@@ -474,8 +521,15 @@ pub struct Segmentation {
     /// Spans already reported (by their start time), kept sorted.
     reported_spans: Vec<f64>,
     /// The most recent full segmentation, for diagnostics and the
-    /// experiment trials' per-session outcome scoring.
+    /// experiment trials' per-session outcome scoring. Doubles as the
+    /// reusable output buffer: each tick takes it, re-scores into it, and
+    /// puts it back, so steady-state scoring allocates nothing.
     last: Option<crate::segmentation::Segmentation>,
+    /// Reusable intermediate buffers for the scoring kernels.
+    scratch: sigproc::kernel::Scratch,
+    /// The consumed tick's frame sequence, for the graph to hand back to
+    /// [`Framing::recycle_frames`].
+    spare_frames: Option<FrameSeq>,
 }
 
 impl Segmentation {
@@ -487,7 +541,15 @@ impl Segmentation {
             end_guard_s,
             reported_spans: Vec::new(),
             last: None,
+            scratch: sigproc::kernel::Scratch::new(),
+            spare_frames: None,
         }
+    }
+
+    /// Takes the frame sequence consumed by the latest tick, if any, so
+    /// its allocation can be recycled upstream.
+    pub(crate) fn take_spare_frames(&mut self) -> Option<FrameSeq> {
+        self.spare_frames.take()
     }
 
     /// The most recent full segmentation (spans, frame scores, and the
@@ -535,10 +597,21 @@ impl Stage for Segmentation {
     }
 
     fn push(&mut self, tick: FrameTick, out: &mut Vec<SpanBatch>) {
-        let segmentation = self.recognizer.segment_frames(&tick.frames);
+        let FrameTick {
+            now,
+            started,
+            frames,
+            streams,
+        } = tick;
+        // Re-score into the previous tick's segmentation (its spans and
+        // frame-score vectors are exactly the right size next tick too).
+        let mut segmentation = self.last.take().unwrap_or_default();
+        self.recognizer
+            .segment_frames_into(&frames, &mut self.scratch, &mut segmentation);
+        self.spare_frames = Some(frames);
         let mut spans = Vec::new();
         for &span in &segmentation.spans {
-            let confirmed = tick.now - span.end >= self.end_guard_s;
+            let confirmed = now - span.end >= self.end_guard_s;
             if confirmed && !self.already_reported(span.start) {
                 self.mark_reported(span.start);
                 spans.push(span);
@@ -558,9 +631,9 @@ impl Stage for Segmentation {
         // Emitted even with no new spans: the letter stage needs every
         // tick's clock and activity to decide the close.
         out.push(SpanBatch {
-            now: tick.now,
-            started: tick.started,
-            streams: tick.streams,
+            now,
+            started,
+            streams,
             spans,
             last_activity,
         });
@@ -1122,6 +1195,11 @@ impl StageGraph {
             self.end_stage_hop(1, hop);
         }
         self.ticks = ticks;
+        // The segmentation stage is done with the tick's frame sequence;
+        // hand it back so the next tick builds into the same allocation.
+        if let Some(frames) = self.segmentation.take_spare_frames() {
+            self.framing.recycle_frames(frames);
+        }
         let mut spans = std::mem::take(&mut self.spans);
         for batch in spans.drain(..) {
             let hop = self.begin_stage_hop(sampled);

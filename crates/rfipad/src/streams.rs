@@ -8,19 +8,19 @@
 
 use crate::calibration::{wrap_to_pi, Calibration};
 use crate::layout::ArrayLayout;
+use crate::tagmap::TagIdMap;
 use rfid_gen2::report::{TagId, TagReport};
 use serde::{Deserialize, Serialize};
 use sigproc::series::TimeSeries;
 use sigproc::unwrap::StreamingUnwrapper;
-use std::collections::HashMap;
 use std::f64::consts::TAU;
 use std::sync::Arc;
 
 /// Per-tag phase and RSS time series over one recording.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TagStreams {
-    phase: HashMap<TagId, TimeSeries>,
-    rss: HashMap<TagId, TimeSeries>,
+    phase: TagIdMap<TagId, TimeSeries>,
+    rss: TagIdMap<TagId, TimeSeries>,
     start: Option<f64>,
     end: Option<f64>,
 }
@@ -104,9 +104,18 @@ impl TagStreams {
 /// copy-on-write only if one is still held across a push.
 #[derive(Debug, Clone, Default)]
 pub struct TagStreamsBuilder {
-    unwrappers: HashMap<TagId, StreamingUnwrapper>,
-    offsets: HashMap<TagId, f64>,
+    // One map for all per-tag push state: a report costs a single probe
+    // here instead of one per field.
+    tags: TagIdMap<TagId, TagPushState>,
     streams: Arc<TagStreams>,
+}
+
+/// Per-tag incremental state carried across pushes: the unwrap window and
+/// the Eq. 8 re-centring offset chosen at the tag's first sample.
+#[derive(Debug, Clone, Default)]
+struct TagPushState {
+    unwrapper: StreamingUnwrapper,
+    offset: Option<f64>,
 }
 
 impl TagStreamsBuilder {
@@ -131,15 +140,15 @@ impl TagStreamsBuilder {
         if !layout.contains(obs.tag) {
             return None;
         }
-        let unwrapper = self.unwrappers.entry(obs.tag).or_default();
-        let unwrapped = unwrapper.push(obs.phase);
+        let state = self.tags.entry(obs.tag).or_default();
+        let unwrapped = state.unwrapper.push(obs.phase);
         let value = match calibration {
             Some(cal) => {
                 let mean = cal.mean_phase(obs.tag).expect("layout tag calibrated");
                 // Re-centre: choose the 2π offset once (at the first
                 // sample) so the suppressed stream starts in (−π, π]
                 // and stays continuous afterwards.
-                let offset = *self.offsets.entry(obs.tag).or_insert_with(|| {
+                let offset = *state.offset.get_or_insert_with(|| {
                     let first = unwrapped - mean;
                     first - wrap_to_pi(first)
                 });
@@ -156,6 +165,28 @@ impl TagStreamsBuilder {
         out.start = Some(out.start.map_or(obs.time, |s: f64| s.min(obs.time)));
         out.end = Some(out.end.map_or(obs.time, |e: f64| e.max(obs.time)));
         Some((obs.tag, obs.time, value))
+    }
+
+    /// Resets the builder to empty while keeping every allocation (hash-map
+    /// tables, per-tag series buffers) for reuse, so rebuilding over a
+    /// trimmed buffer avoids re-growing the same structures.
+    ///
+    /// Per-tag series entries are kept (emptied) rather than removed;
+    /// consumers walk tags in layout order and treat missing and empty
+    /// series alike. One observable difference: [`TagStreams::tag_count`]
+    /// still counts tags seen before the reset — use a fresh builder where
+    /// that distinction matters.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        let streams = Arc::make_mut(&mut self.streams);
+        for series in streams.phase.values_mut() {
+            series.clear();
+        }
+        for series in streams.rss.values_mut() {
+            series.clear();
+        }
+        streams.start = None;
+        streams.end = None;
     }
 
     /// The streams accumulated so far.

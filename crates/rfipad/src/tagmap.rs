@@ -1,0 +1,81 @@
+//! `TagId`-keyed hash maps with a cheap multiplicative hasher.
+//!
+//! Every report the pipeline ingests pays several `TagId` map probes
+//! (layout membership, calibration mean, unwrap state, the two stream
+//! series), and `std`'s default SipHash dominates each probe for a key
+//! that is just one `u64`. [`TagIdMap`] swaps in a Fibonacci-multiply
+//! hasher: one `wrapping_mul` spreads the id's bits into the high word,
+//! which `HashMap` folds down for bucket selection. Tag ids come from the
+//! deployment's own tag plate (not from untrusted input), so HashDoS
+//! resistance buys nothing here.
+//!
+//! Only lookups get faster; nothing observable changes. No code iterates
+//! these maps in an order-sensitive way (layout and stream walks go
+//! through the row-major `tags()` list), so recognition output — and the
+//! golden trace — stays bit-identical.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplies a `u64` key by 2⁶⁴/φ, the classic Fibonacci-hashing
+/// constant, so consecutive ids land in well-separated buckets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TagIdHasher(u64);
+
+/// 2⁶⁴ divided by the golden ratio, rounded to odd.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for TagIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    // Fallback for non-integer writes (unused by `TagId`'s derived Hash,
+    // which calls `write_u64`): fold bytes with the same multiplier.
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FIB);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(FIB);
+    }
+}
+
+/// A `HashMap` keyed by [`TagId`](rfid_gen2::report::TagId) (or any
+/// `u64`-hashing key) using [`TagIdHasher`].
+pub type TagIdMap<K, V> = HashMap<K, V, BuildHasherDefault<TagIdHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::report::TagId;
+
+    #[test]
+    fn map_roundtrip_and_distinct_hashes() {
+        let mut map: TagIdMap<TagId, usize> = TagIdMap::default();
+        for i in 0..64 {
+            map.insert(TagId(i), i as usize);
+        }
+        assert_eq!(map.len(), 64);
+        for i in 0..64 {
+            assert_eq!(map.get(&TagId(i)), Some(&(i as usize)));
+        }
+        // Consecutive ids must not collapse onto one hash.
+        let mut h0 = TagIdHasher::default();
+        h0.write_u64(1);
+        let mut h1 = TagIdHasher::default();
+        h1.write_u64(2);
+        assert_ne!(h0.finish(), h1.finish());
+    }
+
+    #[test]
+    fn byte_fallback_matches_itself_only() {
+        let mut a = TagIdHasher::default();
+        a.write(b"abc");
+        let mut b = TagIdHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

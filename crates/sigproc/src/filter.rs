@@ -19,33 +19,20 @@ use serde::{Deserialize, Serialize};
 /// assert!((smoothed[1] - 10.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn moving_average(data: &[f64], half: usize) -> Vec<f64> {
-    if half == 0 || data.is_empty() {
-        return data.to_vec();
-    }
-    let n = data.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let lo = i.saturating_sub(half);
-        let hi = (i + half + 1).min(n);
-        let window = &data[lo..hi];
-        out.push(window.iter().sum::<f64>() / window.len() as f64);
-    }
+    let mut out = Vec::new();
+    crate::kernel::moving_average_into(data, half, &mut out);
     out
 }
 
 /// Centered median filter with window `2*half + 1`, shrinking at the edges.
 /// Robust to the impulse noise of quantized RSS readings.
+///
+/// Thin wrapper over [`crate::kernel::median_filter_into`]; callers on a
+/// hot path should use that directly with reusable buffers.
 pub fn median_filter(data: &[f64], half: usize) -> Vec<f64> {
-    if half == 0 || data.is_empty() {
-        return data.to_vec();
-    }
-    let n = data.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let lo = i.saturating_sub(half);
-        let hi = (i + half + 1).min(n);
-        out.push(crate::stats::median(&data[lo..hi]));
-    }
+    let mut sort = Vec::new();
+    let mut out = Vec::new();
+    crate::kernel::median_filter_into(data, half, &mut sort, &mut out);
     out
 }
 

@@ -136,9 +136,24 @@ impl FrameSeq {
         self.frames.is_empty()
     }
 
+    /// Removes all frames, keeping the allocated capacity (for use as a
+    /// reusable buffer with [`FrameBuilder::build_into`]).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
     /// The per-frame RMS values as a plain vector.
     pub fn rms_values(&self) -> Vec<f64> {
-        self.frames.iter().map(|f| f.rms).collect()
+        let mut out = Vec::new();
+        self.rms_values_into(&mut out);
+        out
+    }
+
+    /// Like [`rms_values`](Self::rms_values), but reuses `out`'s allocation.
+    pub fn rms_values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.frames.len());
+        out.extend(self.frames.iter().map(|f| f.rms));
     }
 
     /// Groups consecutive frames into non-overlapping windows of `size`
@@ -149,8 +164,25 @@ impl FrameSeq {
     ///
     /// Panics if `size == 0`.
     pub fn windows(&self, size: usize) -> Vec<Window> {
+        let mut out = Vec::new();
+        self.windows_into(size, &mut out);
+        out
+    }
+
+    /// Like [`windows`](Self::windows), but recycles the `Window` slots
+    /// already in `out` (each window's `frame_rms` buffer is cleared, not
+    /// freed) and truncates any excess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn windows_into(&self, size: usize, out: &mut Vec<Window>) {
         assert!(size > 0, "window size must be positive");
-        self.frames.chunks(size).map(Window::from_frames).collect()
+        let mut n = 0;
+        for chunk in self.frames.chunks(size) {
+            emit_window(chunk, out, &mut n);
+        }
+        out.truncate(n);
     }
 
     /// Sliding (overlapping) windows advancing one frame at a time. Useful
@@ -161,34 +193,42 @@ impl FrameSeq {
     ///
     /// Panics if `size == 0`.
     pub fn sliding_windows(&self, size: usize) -> Vec<Window> {
+        let mut out = Vec::new();
+        self.sliding_windows_into(size, &mut out);
+        out
+    }
+
+    /// Like [`sliding_windows`](Self::sliding_windows), but recycles the
+    /// `Window` slots already in `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn sliding_windows_into(&self, size: usize, out: &mut Vec<Window>) {
         assert!(size > 0, "window size must be positive");
+        let mut n = 0;
         if self.frames.len() < size {
-            if self.frames.is_empty() {
-                return Vec::new();
+            if !self.frames.is_empty() {
+                emit_window(&self.frames, out, &mut n);
             }
-            return vec![Window::from_frames(&self.frames)];
+        } else {
+            for run in self.frames.windows(size) {
+                emit_window(run, out, &mut n);
+            }
         }
-        self.frames.windows(size).map(Window::from_frames).collect()
+        out.truncate(n);
     }
 }
 
-/// Per-frame, per-stream running accumulators: everything needed to emit a
-/// frame's multi-stream RMS without revisiting samples.
-#[derive(Debug, Clone)]
-struct FrameAcc {
-    /// Per-stream running sum of squared sample values.
-    sum_sq: Vec<f64>,
-    /// Per-stream sample count.
-    count: Vec<usize>,
-}
-
-impl FrameAcc {
-    fn new(n_streams: usize) -> Self {
-        Self {
-            sum_sq: vec![0.0; n_streams],
-            count: vec![0; n_streams],
-        }
+/// Writes a window over `frames` into slot `*n` of `out`, reusing the slot
+/// (and its `frame_rms` allocation) when one exists.
+fn emit_window(frames: &[Frame], out: &mut Vec<Window>, n: &mut usize) {
+    if let Some(slot) = out.get_mut(*n) {
+        slot.assign(frames);
+    } else {
+        out.push(Window::from_frames(frames));
     }
+    *n += 1;
 }
 
 /// Streaming counterpart of [`FrameSeq::build_with_floors`]: appending a
@@ -230,8 +270,13 @@ pub struct FrameBuilder {
     frame_len: f64,
     floors: Option<Vec<f64>>,
     n_streams: usize,
-    /// Accumulators indexed by frame number.
-    acc: Vec<FrameAcc>,
+    /// Per-frame, per-stream running sum of squared sample values, laid out
+    /// frame-major (`k * n_streams + stream`). A flat structure-of-arrays
+    /// instead of a `Vec` of per-frame structs so that opening a new frame
+    /// is an amortized `resize`, not two fresh allocations.
+    acc_sum_sq: Vec<f64>,
+    /// Per-frame, per-stream sample counts, same layout as `acc_sum_sq`.
+    acc_count: Vec<usize>,
     /// Finalized prefix of frames (no future sample can land in them).
     done: Vec<Frame>,
     /// Newest sample time seen so far.
@@ -257,10 +302,24 @@ impl FrameBuilder {
             frame_len,
             floors,
             n_streams,
-            acc: Vec::new(),
+            acc_sum_sq: Vec::new(),
+            acc_count: Vec::new(),
             done: Vec::new(),
             max_time: f64::NEG_INFINITY,
         }
+    }
+
+    /// Rewinds the builder to an empty state with a new range `start`,
+    /// keeping the stream count, floors, frame length, and — crucially —
+    /// the accumulator allocations. A retention trim that rebuilds its
+    /// framing cache can recycle a spare builder through this instead of
+    /// allocating a fresh one.
+    pub fn reset_anchor(&mut self, start: f64) {
+        self.start = start;
+        self.acc_sum_sq.clear();
+        self.acc_count.clear();
+        self.done.clear();
+        self.max_time = f64::NEG_INFINITY;
     }
 
     /// The frame range start passed to [`new`](Self::new).
@@ -327,11 +386,14 @@ impl FrameBuilder {
         while self.frame_start(k) <= t && k <= est + 2 {
             if t < self.frame_start(k) + self.frame_len {
                 first_touched.get_or_insert(k);
-                while self.acc.len() <= k {
-                    self.acc.push(FrameAcc::new(self.n_streams));
+                let needed = (k + 1) * self.n_streams;
+                if self.acc_count.len() < needed {
+                    self.acc_sum_sq.resize(needed, 0.0);
+                    self.acc_count.resize(needed, 0);
                 }
-                self.acc[k].sum_sq[stream] += v * v;
-                self.acc[k].count[stream] += 1;
+                let idx = k * self.n_streams + stream;
+                self.acc_sum_sq[idx] += v * v;
+                self.acc_count[idx] += 1;
             }
             k += 1;
         }
@@ -351,12 +413,16 @@ impl FrameBuilder {
         let f_start = self.start + k as f64 * self.frame_len;
         let mut rms_sum = 0.0;
         let mut samples = 0;
-        if let Some(acc) = self.acc.get(k) {
-            for i in 0..self.n_streams {
-                let n = acc.count[i];
+        let base = k * self.n_streams;
+        if base < self.acc_count.len() {
+            let counts = &self.acc_count[base..base + self.n_streams];
+            let sums = &self.acc_sum_sq[base..base + self.n_streams];
+            // Ascending stream index mirrors the batch build's stream walk,
+            // so the rms_sum accumulation order (and bits) are unchanged.
+            for (i, (&n, &ssq)) in counts.iter().zip(sums).enumerate() {
                 if n > 0 {
                     let floor = self.floors.as_ref().map(|f| f[i]).unwrap_or(0.0);
-                    rms_sum += ((acc.sum_sq[i] / n as f64).sqrt() - floor).max(0.0);
+                    rms_sum += ((ssq / n as f64).sqrt() - floor).max(0.0);
                     samples += n;
                 }
             }
@@ -377,6 +443,18 @@ impl FrameBuilder {
     ///
     /// Panics if `end < start`.
     pub fn build(&mut self, end: f64) -> FrameSeq {
+        let mut out = FrameSeq::default();
+        self.build_into(end, &mut out);
+        out
+    }
+
+    /// Like [`build`](Self::build), but reuses `out`'s allocation. The
+    /// result is bit-identical to [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn build_into(&mut self, end: f64, out: &mut FrameSeq) {
         assert!(end >= self.start, "frame range end before start");
         let count = ((end - self.start) / self.frame_len).ceil() as usize;
         // Finalize frames that can no longer change: every future sample
@@ -387,13 +465,13 @@ impl FrameBuilder {
             let frame = self.compute_frame(self.done.len());
             self.done.push(frame);
         }
-        let mut frames = Vec::with_capacity(count);
-        frames.extend(self.done.iter().take(count).copied());
-        for k in frames.len()..count {
-            frames.push(self.compute_frame(k));
+        out.frames.clear();
+        out.frames.reserve(count);
+        out.frames.extend(self.done.iter().take(count).copied());
+        for k in out.frames.len()..count {
+            out.frames.push(self.compute_frame(k));
         }
-        frames_built_counter().add(frames.len() as u64);
-        FrameSeq { frames }
+        frames_built_counter().add(out.frames.len() as u64);
     }
 }
 
@@ -421,6 +499,21 @@ impl Window {
             end: frames.last().expect("nonempty").end(),
             frame_rms: frames.iter().map(|f| f.rms).collect(),
         }
+    }
+
+    /// Overwrites this window in place from a non-empty run of frames,
+    /// reusing the `frame_rms` allocation. Equivalent to
+    /// [`from_frames`](Self::from_frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn assign(&mut self, frames: &[Frame]) {
+        assert!(!frames.is_empty(), "window needs at least one frame");
+        self.start = frames[0].start;
+        self.end = frames.last().expect("nonempty").end();
+        self.frame_rms.clear();
+        self.frame_rms.extend(frames.iter().map(|f| f.rms));
     }
 
     /// Standard deviation of the member frames' RMS — the paper's

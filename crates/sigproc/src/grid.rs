@@ -89,17 +89,18 @@ impl GridImage {
         &self.data
     }
 
+    /// Mutable row-major pixel data, for whole-image updates without the
+    /// per-pixel bounds checks of [`set`](Self::set). Row `r` occupies
+    /// `data_mut()[r * cols .. (r + 1) * cols]`.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Rescales pixel values linearly to `[0, 1]`. A constant image maps to
     /// all zeros.
     pub fn normalized(&self) -> GridImage {
-        let lo = crate::stats::min(&self.data);
-        let hi = crate::stats::max(&self.data);
-        let span = hi - lo;
-        let data = if span < 1e-15 {
-            vec![0.0; self.data.len()]
-        } else {
-            self.data.iter().map(|&v| (v - lo) / span).collect()
-        };
+        let mut data = Vec::new();
+        crate::kernel::normalize_unit_into(&self.data, &mut data);
         GridImage {
             rows: self.rows,
             cols: self.cols,
@@ -119,10 +120,12 @@ impl GridImage {
 
     /// Binarizes with a fixed threshold: foreground where `value > thresh`.
     pub fn binarize(&self, thresh: f64) -> BinaryGrid {
+        let mut mask = Vec::new();
+        crate::kernel::binarize_into(&self.data, thresh, &mut mask);
         BinaryGrid {
             rows: self.rows,
             cols: self.cols,
-            mask: self.data.iter().map(|&v| v > thresh).collect(),
+            mask,
         }
     }
 
@@ -131,9 +134,9 @@ impl GridImage {
         const RAMP: &[u8] = b" .:-=+*#%@";
         let norm = self.normalized();
         let mut out = String::with_capacity((self.cols + 1) * self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                let v = norm.get(r, c).clamp(0.0, 1.0);
+        for row in norm.data.chunks_exact(norm.cols) {
+            for &v in row {
+                let v = v.clamp(0.0, 1.0);
                 let idx = (v * (RAMP.len() - 1) as f64).round() as usize;
                 out.push(RAMP[idx] as char);
             }
@@ -172,12 +175,7 @@ impl ShapeMoments {
     ///
     /// Returns 0.0 for isotropic or single-pixel shapes.
     pub fn orientation(&self) -> f64 {
-        let num = 2.0 * self.mu_rc;
-        let den = self.mu_cc - self.mu_rr;
-        if num.abs() < 1e-12 && den.abs() < 1e-12 {
-            return 0.0;
-        }
-        0.5 * num.atan2(den)
+        crate::kernel::principal_orientation(self.mu_rr, self.mu_cc, self.mu_rc)
     }
 
     /// Elongation ratio: major-axis variance over minor-axis variance
@@ -265,9 +263,9 @@ impl BinaryGrid {
     /// Coordinates `(row, col)` of all foreground pixels, row-major order.
     pub fn foreground(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                if self.get(r, c) {
+        for (r, row) in self.mask.chunks_exact(self.cols).enumerate() {
+            for (c, &on) in row.iter().enumerate() {
+                if on {
                     out.push((r, c));
                 }
             }
@@ -276,51 +274,44 @@ impl BinaryGrid {
     }
 
     /// Bounding box `(min_row, min_col, max_row, max_col)` of the foreground,
-    /// or `None` if the mask is empty.
+    /// or `None` if the mask is empty. Computed in one row-major sweep,
+    /// without materializing the foreground coordinate list.
     pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
-        let fg = self.foreground();
-        if fg.is_empty() {
-            return None;
+        let mut bbox: Option<(usize, usize, usize, usize)> = None;
+        for (r, row) in self.mask.chunks_exact(self.cols).enumerate() {
+            for (c, &on) in row.iter().enumerate() {
+                if on {
+                    bbox = Some(match bbox {
+                        None => (r, c, r, c),
+                        Some((min_r, min_c, max_r, max_c)) => {
+                            (min_r.min(r), min_c.min(c), max_r.max(r), max_c.max(c))
+                        }
+                    });
+                }
+            }
         }
-        let min_r = fg.iter().map(|p| p.0).min().expect("nonempty");
-        let max_r = fg.iter().map(|p| p.0).max().expect("nonempty");
-        let min_c = fg.iter().map(|p| p.1).min().expect("nonempty");
-        let max_c = fg.iter().map(|p| p.1).max().expect("nonempty");
-        Some((min_r, min_c, max_r, max_c))
+        bbox
     }
 
     /// Centroid and second-moment features of the foreground, or `None` if
     /// the mask is empty.
     pub fn moments(&self) -> Option<ShapeMoments> {
-        let fg = self.foreground();
-        if fg.is_empty() {
-            return None;
-        }
-        let n = fg.len() as f64;
-        let cr = fg.iter().map(|p| p.0 as f64).sum::<f64>() / n;
-        let cc = fg.iter().map(|p| p.1 as f64).sum::<f64>() / n;
-        let mut mu_rr = 0.0;
-        let mut mu_cc = 0.0;
-        let mut mu_rc = 0.0;
-        for &(r, c) in &fg {
-            let dr = r as f64 - cr;
-            let dc = c as f64 - cc;
-            mu_rr += dr * dr;
-            mu_cc += dc * dc;
-            mu_rc += dr * dc;
-        }
+        let m = crate::kernel::mask_moments(&self.mask, self.cols)?;
         Some(ShapeMoments {
-            area: fg.len(),
-            centroid: (cr, cc),
-            mu_rr: mu_rr / n,
-            mu_cc: mu_cc / n,
-            mu_rc: mu_rc / n,
+            area: m.area,
+            centroid: m.centroid,
+            mu_rr: m.mu_rr,
+            mu_cc: m.mu_cc,
+            mu_rc: m.mu_rc,
         })
     }
 
     /// 8-connected components of the foreground, each a list of `(row, col)`
     /// pixels, ordered by decreasing size.
     pub fn connected_components(&self) -> Vec<Vec<(usize, usize)>> {
+        // Row-major `r * cols + c` indexing is intentional here: the DFS
+        // jumps between arbitrary neighbours, so there is no iterator shape
+        // that would lift the bounds checks without obscuring the traversal.
         let mut visited = vec![false; self.mask.len()];
         let mut components = Vec::new();
         for start_r in 0..self.rows {
@@ -377,9 +368,9 @@ impl BinaryGrid {
     /// output, matching the paper's Fig. 7(c) visualization.
     pub fn to_ascii(&self) -> String {
         let mut out = String::with_capacity((self.cols + 1) * self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.push(if self.get(r, c) { '#' } else { '.' });
+        for row in self.mask.chunks_exact(self.cols) {
+            for &on in row {
+                out.push(if on { '#' } else { '.' });
             }
             out.push('\n');
         }

@@ -17,7 +17,11 @@
 //! - [`filter`] — moving-average and median filters, trough (local-minimum)
 //!   detection;
 //! - [`stats`] — summary statistics, online (Welford) accumulation, and
-//!   empirical CDFs.
+//!   empirical CDFs;
+//! - [`kernel`] — allocation-free slice kernels under the above (fused
+//!   reductions, windowed statistics, resampling, histogramming, mask
+//!   moments) with a reusable [`kernel::Scratch`] arena and naive scalar
+//!   references for bit-identity testing.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@
 pub mod filter;
 pub mod frames;
 pub mod grid;
+pub mod kernel;
 pub mod otsu;
 pub mod series;
 pub mod stats;

@@ -33,20 +33,13 @@ pub fn otsu_threshold(data: &[f64]) -> Option<f64> {
     if data.is_empty() {
         return None;
     }
-    let lo = crate::stats::min(data);
-    let hi = crate::stats::max(data);
+    let (lo, hi) = crate::kernel::minmax(data);
     if !(hi - lo).is_finite() || (hi - lo) < 1e-12 {
         return None;
     }
     let width = (hi - lo) / OTSU_BINS as f64;
     let mut hist = [0usize; OTSU_BINS];
-    for &v in data {
-        let mut bin = ((v - lo) / width) as usize;
-        if bin >= OTSU_BINS {
-            bin = OTSU_BINS - 1;
-        }
-        hist[bin] += 1;
-    }
+    crate::kernel::histogram_into(data, lo, width, &mut hist);
     let bin_index = otsu_threshold_histogram(&hist)?;
     // Upper edge of the selected bin: foreground is strictly above.
     Some(lo + (bin_index as f64 + 1.0) * width)
@@ -107,10 +100,12 @@ pub fn otsu_threshold_histogram(hist: &[usize]) -> Option<usize> {
 /// If no threshold exists (uniform or empty data), every element maps to
 /// `false` — a uniform image contains no foreground.
 pub fn otsu_binarize(data: &[f64]) -> Vec<bool> {
+    let mut mask = Vec::new();
     match otsu_threshold(data) {
-        Some(t) => data.iter().map(|&v| v > t).collect(),
-        None => vec![false; data.len()],
+        Some(t) => crate::kernel::binarize_into(data, t, &mut mask),
+        None => mask.resize(data.len(), false),
     }
+    mask
 }
 
 #[cfg(test)]

@@ -154,39 +154,13 @@ impl TimeSeries {
     ///
     /// Panics if `dt <= 0`.
     pub fn resample_into(&self, dt: f64, out: &mut TimeSeries) {
-        assert!(dt > 0.0, "resample interval must be positive");
-        out.clear();
-        if self.times.len() < 2 {
-            return;
-        }
-        let start = self.times[0];
-        let end = *self.times.last().expect("nonempty");
-        let mut idx = 0;
-        let mut t = start;
-        while t <= end + 1e-12 {
-            let tc = t.min(end);
-            // Advance the cursor to the first sample with time >= tc — the
-            // same index `interpolate`'s partition_point would find. Grid
-            // times are non-decreasing, so the cursor never moves back.
-            while idx < self.times.len() && self.times[idx] < tc {
-                idx += 1;
-            }
-            let v = if idx < self.times.len() && self.times[idx] == tc {
-                self.values[idx]
-            } else {
-                // tc lies strictly between times[idx-1] and times[idx].
-                let (t0, t1) = (self.times[idx - 1], self.times[idx]);
-                let (v0, v1) = (self.values[idx - 1], self.values[idx]);
-                if t1 == t0 {
-                    v1
-                } else {
-                    let frac = (tc - t0) / (t1 - t0);
-                    v0 + frac * (v1 - v0)
-                }
-            };
-            out.push(tc, v);
-            t += dt;
-        }
+        crate::kernel::resample_linear_into(
+            &self.times,
+            &self.values,
+            dt,
+            &mut out.times,
+            &mut out.values,
+        );
     }
 
     /// Returns the sub-series with `start <= t < end`.

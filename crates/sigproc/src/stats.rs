@@ -42,7 +42,10 @@ pub fn rms(data: &[f64]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    (data.iter().map(|&x| x * x).sum::<f64>() / data.len() as f64).sqrt()
+    // The fused kernel accumulates squares in element order, so this is
+    // bit-identical to the map-sum it replaces.
+    let (_, sumsq) = crate::kernel::sum_sumsq(data);
+    (sumsq / data.len() as f64).sqrt()
 }
 
 /// Median of a slice (average of the two central elements for even length).

@@ -55,6 +55,13 @@ cargo run --release -p experiments --bin bench_pipeline -- "${1:-}"
 echo "== multi-session engine smoke (8 golden-trace replays) =="
 cargo run --release -p experiments --bin engine_bench -- --sessions 8
 
+echo "== kernel microbench + hot-path allocation gate =="
+# Runs the sigproc kernel suite against the naive references and feeds a
+# quiet synthetic session through the pipeline under a counting global
+# allocator. Merges the kernel_bench and hot_path_allocs entries; the
+# alloc count is gated to exactly zero below.
+cargo run --release -p bench --features count-allocs --bin kernel_bench
+
 echo "== health/debug endpoint smoke (live engine) =="
 # A tiny load_gen run serves the engine's endpoint and holds the process
 # alive after the drain; the probes must see 200s and valid JSON. Runs
@@ -162,6 +169,51 @@ gate_rps() { # name fresh baseline
 }
 gate_rps ingest_batch "$(fresh_rps ingest_batch)" "$base_ingest"
 gate_rps incremental_framing "$(fresh_rps incremental_framing)" "$base_framing"
+
+# Batched ingest must report real push latencies: close_with_stats captures
+# the session counters after the worker drains, so a zero p50 means the
+# recorder (or its final read) regressed.
+ingest_p50=$(sed -n 's/^ *"ingest_batch":.*"push_p50_ns": \([0-9]*\).*/\1/p' \
+  BENCH_pipeline.json | head -n 1)
+if [ "${ingest_p50:-0}" -le 0 ]; then
+  echo "bench-check: ingest_batch push_p50_ns is ${ingest_p50:-missing};" \
+    "batched replays must record per-batch push latency" >&2
+  exit 1
+fi
+echo "ingest_batch push_p50_ns ${ingest_p50}: OK"
+
+# Kernel-layer speedup floor: the scratch-buffer rework must keep
+# incremental_framing at >= 1.2x its pre-kernel throughput (the constant
+# is the committed value from before the kernel layer landed).
+kernel_base=4105290
+kernel_floor=$(awk -v b="$kernel_base" 'BEGIN { printf "%d", b * 1.2 }')
+fresh_framing=$(fresh_rps incremental_framing)
+if [ "${fresh_framing:-0}" -lt "$kernel_floor" ]; then
+  echo "bench-check: incremental_framing ${fresh_framing:-0} reports/s is below" \
+    "the kernel-layer floor ${kernel_floor} (1.2x pre-kernel ${kernel_base})" >&2
+  exit 1
+fi
+echo "incremental_framing kernel-layer floor ${kernel_floor} (1.2x ${kernel_base}): OK"
+
+# Zero-allocation gate: steady-state per-tick processing must not touch
+# the heap. Any nonzero count means a recycled buffer or scratch arena
+# stopped being reused.
+grep -q '"kernel_bench"' BENCH_pipeline.json || {
+  echo "bench-check: kernel_bench entry missing from BENCH_pipeline.json" >&2
+  exit 1
+}
+hot_allocs=$(sed -n 's/^ *"hot_path_allocs": { "allocs": \([0-9]*\).*/\1/p' \
+  BENCH_pipeline.json | head -n 1)
+if [ -z "$hot_allocs" ]; then
+  echo "bench-check: hot_path_allocs entry missing from BENCH_pipeline.json" >&2
+  exit 1
+fi
+if [ "$hot_allocs" -ne 0 ]; then
+  echo "bench-check: hot path performed ${hot_allocs} allocations in the" \
+    "steady-state window; the per-tick path must be allocation-free" >&2
+  exit 1
+fi
+echo "hot_path_allocs ${hot_allocs}: OK"
 
 # Stage-graph overhead gate: the graph-composed streaming replay must stay
 # within STAGE_TOLERANCE (3%) of the committed trace_replay throughput
